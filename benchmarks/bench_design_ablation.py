@@ -1,0 +1,67 @@
+"""Design-choice ablation (beyond the paper's figures).
+
+DESIGN.md §2 documents two implementation choices on top of the paper's
+text: the ``h ⊙ q`` product channel in the pair embedding, and the pair's
+observable commercial attributes at the prediction head.  This bench
+measures what each contributes, plus the literal Eq. 2 geographic
+weighting, justifying the deviations with numbers.
+"""
+
+from dataclasses import replace
+
+from common import bench_harness, emit, run_once
+
+from repro.experiments import evaluate_model, format_bar_groups
+from repro.experiments.harness import build_dataset, train_o2siterec
+
+CHOICES = (
+    ("full", {}),
+    ("no product channel", {"product_channel": False}),
+    ("no commercial head", {"commercial_in_predictor": False}),
+    ("literal Eq. 2 weights", {"geo_weight_mode": "literal"}),
+)
+
+
+def test_design_ablation(benchmark):
+    config = bench_harness()
+
+    def run():
+        results = {}
+        for r in range(config.rounds):
+            seed = config.base_seed + r
+            dataset, split = build_dataset("real", seed, config.scale)
+            for name, overrides in CHOICES:
+                model_config = replace(config.model_config, **overrides)
+                model = train_o2siterec(
+                    dataset, split, config, model_config=model_config, seed=seed
+                )
+                result = evaluate_model(
+                    model,
+                    dataset,
+                    split,
+                    top_n=config.top_n,
+                    top_n_frac=config.top_n_frac,
+                )
+                results.setdefault(name, []).append(result)
+        return results
+
+    results = run_once(benchmark, run)
+
+    metrics = ("NDCG@3", "RMSE")
+    means = {
+        name: [
+            sum(r[m] for r in rows) / len(rows) for m in metrics
+        ]
+        for name, rows in results.items()
+    }
+    emit(
+        "design_ablation",
+        format_bar_groups(
+            "Design-choice ablation (DESIGN.md section 2)", metrics, means
+        ),
+    )
+
+    full_ndcg = means["full"][0]
+    # The product channel is the load-bearing choice.
+    assert full_ndcg > means["no product channel"][0] - 0.03
+    assert full_ndcg > means["no commercial head"][0] - 0.05

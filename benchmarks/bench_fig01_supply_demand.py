@@ -1,0 +1,32 @@
+"""Fig. 1: orders, couriers and supply-demand ratio per 2-hour bin.
+
+Paper shape: order and courier counts peak in the noon (10-14) and evening
+(16-20) rush hours, while the supply-demand ratio dips there.
+"""
+
+from common import emit, motivation_city, run_once
+
+from repro.experiments import format_series, supply_demand_by_bin
+
+
+def test_fig01_supply_demand(benchmark):
+    sim = motivation_city()
+    data = run_once(benchmark, lambda: supply_demand_by_bin(sim))
+
+    text = format_series(
+        "Fig. 1 -- Order and courier count / supply-demand ratio (normalised)",
+        "hour",
+        data["hours"].tolist(),
+        {
+            "orders": data["orders"],
+            "couriers": data["couriers"],
+            "ratio": data["ratio"],
+        },
+    )
+    emit("fig01", text)
+
+    active = data["orders"] > 0
+    hours = data["hours"]
+    noon = data["ratio"][(hours >= 10) & (hours < 14) & active].mean()
+    afternoon = data["ratio"][(hours >= 14) & (hours < 16) & active].mean()
+    assert noon < afternoon, "rush-hour ratio must dip below the afternoon"

@@ -1,0 +1,27 @@
+"""Fig. 2: delivery time tracks the supply-demand ratio.
+
+Paper shape: the two curves move inversely over the day; delivery time is a
+valid proxy for courier capacity.
+"""
+
+from common import emit, motivation_city, run_once
+
+from repro.experiments import delivery_time_vs_ratio, format_series
+
+
+def test_fig02_delivery_time(benchmark):
+    sim = motivation_city()
+    data = run_once(benchmark, lambda: delivery_time_vs_ratio(sim))
+
+    text = format_series(
+        "Fig. 2 -- Delivery time vs supply-demand ratio "
+        f"(correlation {float(data['correlation']):.3f})",
+        "hour",
+        data["hours"].tolist(),
+        {"ratio": data["ratio"], "delivery_min": data["delivery_minutes"]},
+    )
+    emit("fig02", text)
+
+    assert float(data["correlation"]) < -0.3, (
+        "delivery time must anti-correlate with the supply-demand ratio"
+    )

@@ -1,0 +1,27 @@
+"""Fig. 3: average delivery scope (farthest delivery distance) per period.
+
+Paper shape: scopes shrink at the noon and evening rush hours (pressure
+control) and relax in the afternoon.
+"""
+
+from common import emit, motivation_city, run_once
+
+from repro.experiments import delivery_scope_by_period, format_series
+
+
+def test_fig03_delivery_scope(benchmark):
+    sim = motivation_city()
+    data = run_once(benchmark, lambda: delivery_scope_by_period(sim))
+
+    text = format_series(
+        "Fig. 3 -- Average delivery scope per period (metres)",
+        "period",
+        data["periods"].tolist(),
+        {"scope_m": data["scope_m"]},
+        fmt="{:.0f}",
+    )
+    emit("fig03", text)
+
+    scope = dict(zip(data["periods"], data["scope_m"]))
+    assert scope["noon rush"] < scope["afternoon"]
+    assert scope["evening rush"] < scope["afternoon"]

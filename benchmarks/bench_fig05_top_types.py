@@ -1,0 +1,26 @@
+"""Fig. 5: top popular store types per period.
+
+Paper shape: the top-3 list changes along the day (breakfast categories
+lead in the morning, dinner/night categories in the evening).
+"""
+
+from common import emit, motivation_city, run_once
+
+from repro.data import TimePeriod
+from repro.experiments import top_store_types_by_period
+
+
+def test_fig05_top_types(benchmark):
+    sim = motivation_city()
+    top = run_once(benchmark, lambda: top_store_types_by_period(sim, k=3))
+
+    lines = ["Fig. 5 -- Top popular store types per period", "=" * 60]
+    for period in TimePeriod:
+        entries = ", ".join(f"{name} ({count})" for name, count in top[period])
+        lines.append(f"{period.label:14s} {entries}")
+    emit("fig05", "\n".join(lines))
+
+    leaders = {top[p][0][0] for p in TimePeriod}
+    assert len(leaders) >= 2, "preferences must differ across periods"
+    morning = [name for name, _ in top[TimePeriod.MORNING]]
+    assert "breakfast" in morning or "steamed_buns" in morning

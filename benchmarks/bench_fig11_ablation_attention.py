@@ -1,0 +1,43 @@
+"""Fig. 11: ablation of the two attention mechanisms.
+
+Paper shape: the full model beats both w/o NA (mean aggregation instead of
+the node-level attention) and w/o SA (mean over periods instead of the time
+semantics-level attention).
+"""
+
+from dataclasses import replace
+
+from common import bench_harness, emit, run_once
+
+from repro.experiments import format_bar_groups, run_ablation
+
+VARIANTS = ("O2-SiteRec", "w/o NA", "w/o SA")
+
+
+def test_fig11_ablation_attention(benchmark):
+    # Same budget bump as Fig. 10: compare converged models, not
+    # convergence speed.
+    base = bench_harness()
+    config = replace(
+        base,
+        scale=max(base.scale, 0.625),
+        epochs=max(base.epochs, 60),
+        rounds=max(base.rounds, 3),
+    )
+    results = run_once(
+        benchmark, lambda: run_ablation(VARIANTS, config=config)
+    )
+
+    metrics = ("NDCG@3", "Precision@3")
+    emit(
+        "fig11",
+        format_bar_groups(
+            "Fig. 11 -- Effect of the attention mechanisms",
+            metrics,
+            {v: [results[v].mean(m) for m in metrics] for v in VARIANTS},
+        ),
+    )
+
+    full = results["O2-SiteRec"].mean("NDCG@3")
+    assert full >= results["w/o NA"].mean("NDCG@3") - 0.02
+    assert full >= results["w/o SA"].mean("NDCG@3") - 0.02

@@ -1,0 +1,37 @@
+"""Figs. 12/13: results for six highlighted store types.
+
+Paper shape: O2-SiteRec performs well across types, with smaller variation
+across types than the baselines (HGT, GraphRec).
+"""
+
+import numpy as np
+
+from common import bench_harness, emit, run_once
+
+from repro.experiments import FOCUS_TYPES, format_bar_groups, per_type_results
+
+
+def test_fig12_13_store_types(benchmark):
+    config = bench_harness()
+    results = run_once(benchmark, lambda: per_type_results(config=config))
+
+    types = [t for t in FOCUS_TYPES if t in results["O2-SiteRec"]]
+    emit(
+        "fig12_13",
+        format_bar_groups(
+            "Figs. 12/13 -- NDCG@3 by store type",
+            types,
+            {
+                model: [values.get(t, float("nan")) for t in types]
+                for model, values in results.items()
+            },
+        ),
+    )
+
+    ours = np.array([results["O2-SiteRec"][t] for t in types])
+    for name in ("HGT", "GraphRec"):
+        theirs = np.array([results[name][t] for t in types])
+        wins = (ours >= theirs - 1e-9).sum()
+        assert wins >= len(types) - 2, (
+            f"O2-SiteRec should lead {name} on most types ({wins}/{len(types)})"
+        )

@@ -1,0 +1,36 @@
+"""Fig. 15: sensitivity to the hetero-graph embedding size d2.
+
+Paper shape: performance is relatively stable across sizes, with a broad
+optimum at an intermediate size (paper: 90 on the full data; smaller here
+because the city is scaled down) -- too small underfits, too large risks
+overfitting.
+"""
+
+from common import bench_harness, emit, run_once
+
+from repro.experiments import embedding_size_sweep, format_series
+
+SIZES = (10, 20, 40, 60)
+
+
+def test_fig15_embedding_size(benchmark):
+    config = bench_harness()
+    results = run_once(
+        benchmark, lambda: embedding_size_sweep(SIZES, config=config)
+    )
+
+    emit(
+        "fig15",
+        format_series(
+            "Fig. 15 -- NDCG@3 vs embedding size d2",
+            "d2",
+            list(SIZES),
+            {"NDCG@3": [results[s] for s in SIZES]},
+        ),
+    )
+
+    values = [results[s] for s in SIZES]
+    # Stability: the spread across sizes stays moderate.
+    assert max(values) - min(values) < 0.25
+    # The best size is not the smallest (insufficient representation).
+    assert max(results, key=results.get) != SIZES[0]

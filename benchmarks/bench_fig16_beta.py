@@ -1,0 +1,30 @@
+"""Fig. 16: sensitivity to the loss trade-off beta (Eq. 17).
+
+Paper shape: overall performance is stable in beta, with the best value at
+a small positive beta (paper: 0.2) -- some auxiliary capacity supervision
+helps, too much distracts from the main task.
+"""
+
+from common import bench_harness, emit, run_once
+
+from repro.experiments import beta_sweep, format_series
+
+BETAS = (0.0, 0.1, 0.2, 0.5, 1.0)
+
+
+def test_fig16_beta(benchmark):
+    config = bench_harness()
+    results = run_once(benchmark, lambda: beta_sweep(BETAS, config=config))
+
+    emit(
+        "fig16",
+        format_series(
+            "Fig. 16 -- NDCG@3 vs beta",
+            "beta",
+            list(BETAS),
+            {"NDCG@3": [results[b] for b in BETAS]},
+        ),
+    )
+
+    values = [results[b] for b in BETAS]
+    assert max(values) - min(values) < 0.2, "performance must be stable in beta"

@@ -1,0 +1,53 @@
+"""Shared benchmark infrastructure.
+
+Each bench regenerates one paper table/figure: it computes the experiment
+once (timed through pytest-benchmark's pedantic single-round mode -- these
+are experiments, not microbenchmarks), prints the paper-shaped rows, and
+writes them to ``benchmarks/results/<id>.txt`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+from repro.city import real_world_dataset
+from repro.experiments import HarnessConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Benchmark scale knobs, overridable from the environment:
+#   REPRO_BENCH_SCALE=1.0 REPRO_BENCH_ROUNDS=3 pytest benchmarks/ ...
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.55"))
+BENCH_ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "45"))
+
+
+def bench_harness() -> HarnessConfig:
+    """The harness configuration every model-comparison bench uses."""
+    return HarnessConfig(
+        rounds=BENCH_ROUNDS,
+        scale=BENCH_SCALE,
+        epochs=BENCH_EPOCHS,
+        patience=max(BENCH_EPOCHS // 4, 5),
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def motivation_city():
+    """One simulated month shared by the motivation benches (Figs. 1-5)."""
+    return real_world_dataset(seed=7, scale=max(BENCH_SCALE, 0.7))
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""City atlas: visualise the synthetic city and the model's predictions.
+
+Renders terminal heatmaps of land use, demand, courier capacity and the
+trained model's predicted order counts for one store type.
+
+    python examples/city_atlas.py
+"""
+
+import numpy as np
+
+from repro import viz
+from repro.city import ARCHETYPES, real_world_dataset
+from repro.core import O2SiteRec, O2SiteRecConfig, TrainConfig, Trainer
+from repro.data import SiteRecDataset, TimePeriod
+
+
+def main() -> None:
+    sim = real_world_dataset(seed=7, scale=0.6)
+    dataset = SiteRecDataset.from_simulation(sim)
+    grid = dataset.grid
+    print(sim.summary(), "\n")
+
+    symbols = {i: "DOR." [i] for i in range(len(ARCHETYPES))}
+    print(
+        viz.categorical_map(
+            grid,
+            sim.land.archetype,
+            symbols=symbols,
+            title="Land use (D=downtown O=office R=residential .=suburb)",
+        ),
+        "\n",
+    )
+
+    orders_per_region = dataset.aggregates.counts_sa.sum(axis=1)
+    print(viz.ascii_heatmap(grid, orders_per_region, title="Orders served per region"), "\n")
+
+    noon_ratio = sim.fleet.ratio[:, int(TimePeriod.NOON_RUSH)]
+    print(
+        viz.ascii_heatmap(
+            grid, noon_ratio, title="Noon-rush supply-demand ratio (capacity)"
+        ),
+        "\n",
+    )
+
+    # Train and map predictions for one store type.
+    split = dataset.split(seed=0)
+    model = O2SiteRec(dataset, split, O2SiteRecConfig())
+    result = Trainer(model, TrainConfig(epochs=50, lr=1e-2, patience=12)).fit(
+        split.train_pairs, dataset.pair_targets(split.train_pairs)
+    )
+    print(viz.loss_curve(result.train_losses, title="Training loss"), "\n")
+
+    juice = dataset.type_index("juice")
+    predictions = np.zeros(grid.num_regions)
+    pairs = np.stack(
+        [
+            dataset.store_regions,
+            np.full(len(dataset.store_regions), juice, dtype=np.int64),
+        ],
+        axis=1,
+    )
+    predictions[dataset.store_regions] = model.predict(pairs)
+    print(
+        viz.ascii_heatmap(
+            grid,
+            predictions * dataset.target_scale,
+            title="Predicted monthly juice orders per region",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

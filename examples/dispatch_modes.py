@@ -1,0 +1,50 @@
+"""Compare the two delivery-time processes: formula vs courier agents.
+
+``dispatch_mode="formula"`` stamps delivery times from the closed-form
+congestion model; ``dispatch_mode="agents"`` lets them emerge from an
+event-driven dispatcher over stateful courier agents (see
+``repro.city.dispatch``).  Both produce the rush-hour capacity signature
+the paper's motivation section describes.
+
+    python examples/dispatch_modes.py
+"""
+
+import numpy as np
+
+from repro.city import CityConfig, simulate
+from repro.data import TimePeriod
+
+
+def waiting_by_period(sim):
+    per = {p: [] for p in TimePeriod}
+    for o in sim.orders:
+        per[o.period].append(o.total_minutes)
+    return {p: float(np.mean(v)) if v else 0.0 for p, v in per.items()}
+
+
+def main() -> None:
+    base = dict(rows=8, cols=8, num_days=5, num_couriers=70, seed=3)
+    formula = simulate(CityConfig(**base, dispatch_mode="formula"))
+    agents = simulate(CityConfig(**base, dispatch_mode="agents"))
+
+    print(f"formula: {formula.num_orders} orders; agents: {agents.num_orders} orders\n")
+    wf = waiting_by_period(formula)
+    wa = waiting_by_period(agents)
+
+    print(f"{'period':<14}{'formula wait (min)':>20}{'agents wait (min)':>20}")
+    for p in TimePeriod:
+        print(f"{p.label:<14}{wf[p]:>20.1f}{wa[p]:>20.1f}")
+
+    print(
+        "\nBoth processes make the rush hours slower than the morning -- the"
+        "\nformula via the supply-demand congestion factor, the agents via"
+        "\nqueueing: every courier is still finishing the previous job."
+    )
+    for label, waits in (("formula", wf), ("agents", wa)):
+        rush = waits[TimePeriod.NOON_RUSH]
+        calm = waits[TimePeriod.MORNING]
+        print(f"  {label}: noon rush {rush:.1f} min vs morning {calm:.1f} min")
+
+
+if __name__ == "__main__":
+    main()

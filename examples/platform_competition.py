@@ -1,0 +1,44 @@
+"""Multi-platform competition: how much does pooled data matter?
+
+The paper's Section V: "Many stores are registered on more than one
+platform. The model could be more accurate if we can obtain the data from
+multiple platforms."  We split one simulated market across two platforms
+and compare site recommendations trained on one platform's (censored) log
+vs the pooled log, judged against full-market demand.
+
+    python examples/platform_competition.py
+"""
+
+from repro.extensions import DuopolyConfig, run_competition_experiment
+
+
+def main() -> None:
+    config = DuopolyConfig(
+        scale=0.55,
+        frac_only_a=0.3,
+        frac_only_b=0.25,
+        frac_both=0.45,
+        platform_a_share=0.55,
+        epochs=45,
+    )
+    result = run_competition_experiment(config)
+
+    print(
+        f"platform A sees {result.coverage_a:.0%} of the market's orders\n"
+    )
+    print(f"{'training data':<14}{'NDCG@3':>10}{'Precision@3':>14}{'RMSE':>10}")
+    for key in ("platform_a", "pooled"):
+        row = result[key]
+        print(
+            f"{key:<14}{row['NDCG@3']:>10.4f}"
+            f"{row['Precision@3']:>14.4f}{row['RMSE']:>10.4f}"
+        )
+    print(
+        f"\npooling both platforms' logs changes NDCG@3 by "
+        f"{result.pooled_gain('NDCG@3'):+.1%} -- the paper's multi-platform "
+        "limitation, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""What-if analysis: how does courier capacity reshape site rankings?
+
+Simulates the same city twice -- once with a tight courier fleet, once with
+50% more couriers -- and compares where the top sites move.  Extra capacity
+relaxes the pressure-controlled delivery scopes, so demand from farther
+neighbourhoods becomes reachable and peripheral sites climb the ranking:
+exactly the supply-side coupling the paper argues makes O2O site
+recommendation different from brick-and-mortar.
+
+    python examples/what_if_capacity.py
+"""
+
+import numpy as np
+
+from repro.city import CityConfig, simulate
+from repro.core import O2SiteRec, O2SiteRecConfig, TrainConfig, Trainer
+from repro.data import SiteRecDataset, TimePeriod
+
+
+def rank_sites(sim, store_type_name: str, k: int = 5):
+    dataset = SiteRecDataset.from_simulation(sim)
+    split = dataset.split(seed=0)
+    model = O2SiteRec(dataset, split, O2SiteRecConfig())
+    Trainer(model, TrainConfig(epochs=45, lr=1e-2, patience=12)).fit(
+        split.train_pairs, dataset.pair_targets(split.train_pairs)
+    )
+    a = dataset.type_index(store_type_name)
+    candidates = np.asarray(sorted(set(split.test_regions_for_type(a))))
+    pairs = np.stack([candidates, np.full(len(candidates), a)], axis=1)
+    scores = model.predict(pairs)
+    order = np.argsort(-scores)[:k]
+    return dataset, [(int(candidates[i]), float(scores[i])) for i in order]
+
+
+def main() -> None:
+    base = dict(rows=10, cols=10, num_days=10, seed=7)
+    tight = simulate(CityConfig(**base, num_couriers=110))
+    ample = simulate(CityConfig(**base, num_couriers=165))
+
+    scope_tight = tight.fleet.scope_matrix()[:, int(TimePeriod.NOON_RUSH)].mean()
+    scope_ample = ample.fleet.scope_matrix()[:, int(TimePeriod.NOON_RUSH)].mean()
+    print(
+        f"tight fleet: {tight.config.num_couriers} couriers, mean noon scope "
+        f"{scope_tight:.0f} m, {tight.num_orders} orders"
+    )
+    print(
+        f"ample fleet: {ample.config.num_couriers} couriers, mean noon scope "
+        f"{scope_ample:.0f} m, {ample.num_orders} orders\n"
+    )
+
+    dataset, top_tight = rank_sites(tight, "light_meal")
+    _, top_ample = rank_sites(ample, "light_meal")
+
+    print("top-5 light-meal sites under each fleet (region: score):")
+    print(f"{'rank':<6}{'tight fleet':>20}{'ample fleet':>20}")
+    for i, (a, b) in enumerate(zip(top_tight, top_ample), start=1):
+        print(f"#{i:<5}{a[0]:>14d} {a[1]:.3f}{b[0]:>14d} {b[1]:.3f}")
+
+    moved = {r for r, _ in top_tight} ^ {r for r, _ in top_ample}
+    print(
+        f"\n{len(moved) // 2} of the top-5 sites change when the fleet grows"
+        " -- courier capacity is part of the site decision."
+    )
+
+
+if __name__ == "__main__":
+    main()

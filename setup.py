@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+All metadata lives in pyproject.toml; this file only enables legacy
+`pip install -e . --no-use-pep517` editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""O2-SiteRec: store site recommendation under the O2O model.
+
+A full reproduction of Yan et al., "O2-SiteRec: Store Site Recommendation
+under the O2O Model via Multi-graph Attention Networks" (ICDE 2022),
+including a from-scratch numpy autograd/NN substrate, a synthetic O2O city
+simulator standing in for the proprietary Eleme dataset, the O2-SiteRec
+model, all six baselines and the complete experiment harness.
+
+Quickstart::
+
+    from repro import city, core
+    from repro.data import SiteRecDataset
+
+    sim = city.tiny_dataset()
+    dataset = SiteRecDataset.from_simulation(sim)
+    split = dataset.split(seed=0)
+    model = core.O2SiteRec(dataset, split)
+    core.Trainer(model).fit(split.train_pairs,
+                            dataset.pair_targets(split.train_pairs))
+    core.recommend_sites(model, store_type=0,
+                         candidate_regions=split.test_regions_for_type(0))
+"""
+
+from . import (
+    baselines,
+    city,
+    core,
+    data,
+    experiments,
+    extensions,
+    geo,
+    graphs,
+    metrics,
+    nn,
+    optim,
+    tensor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "optim",
+    "geo",
+    "city",
+    "data",
+    "graphs",
+    "core",
+    "baselines",
+    "metrics",
+    "extensions",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Baseline models (Section IV-A5) with Original/Adaption settings."""
+
+from typing import Callable, Dict
+
+from .base import (
+    MergedHeteroGraph,
+    PairFeatureBuilder,
+    SiteRecBaseline,
+    merge_hetero_graph,
+)
+from .city_transfer import CityTransfer
+from .cosvd import BLGCoSVD
+from .gcmc import GCMC
+from .geospotting import GeoSpotting
+from .graphrec import GraphRec
+from .hgt import HGT
+from .rgcn import RGCN
+
+# Factory registry in the paper's table order.
+BASELINE_REGISTRY: Dict[str, Callable] = {
+    "CityTransfer": CityTransfer,
+    "BL-G-CoSVD": BLGCoSVD,
+    "GC-MC": GCMC,
+    "GraphRec": GraphRec,
+    "RGCN": RGCN,
+    "HGT": HGT,
+}
+
+# Additional reference models outside the paper's Table III.
+EXTRA_BASELINES: Dict[str, Callable] = {
+    "Geo-spotting": GeoSpotting,
+}
+
+__all__ = [
+    "SiteRecBaseline",
+    "PairFeatureBuilder",
+    "MergedHeteroGraph",
+    "merge_hetero_graph",
+    "CityTransfer",
+    "BLGCoSVD",
+    "GCMC",
+    "GraphRec",
+    "RGCN",
+    "HGT",
+    "GeoSpotting",
+    "BASELINE_REGISTRY",
+    "EXTRA_BASELINES",
+]

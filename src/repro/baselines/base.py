@@ -1,0 +1,210 @@
+"""Shared baseline infrastructure.
+
+Every baseline implements ``fit``/``predict`` over (region, type) pairs and
+supports the paper's two settings (Section IV-A5):
+
+* **original** -- the features of the baseline's own paper: geographic and
+  commercial context only;
+* **adaption** -- plus O2O-specific features: the customer-preference vector
+  of the 2 km neighbourhood, the region's average delivery time (courier
+  capacity proxy) and location features.
+
+Graph baselines operate on a period-merged ("flattened") view of the
+region-type heterogeneous multi-graph: they have no notion of the
+multi-graph's time semantics -- which is precisely the modelling gap the
+paper exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import SiteRecDataset
+from ..data.periods import TimePeriod
+from ..data.split import InteractionSplit
+from ..graphs.hetero import RegionTypeHeteroMultiGraph, build_hetero_multigraph
+from ..nn import Module
+from ..optim import mse_loss
+from ..tensor import Tensor
+
+SETTINGS = ("original", "adaption")
+
+
+def validate_setting(setting: str) -> str:
+    if setting not in SETTINGS:
+        raise ValueError(f"setting must be one of {SETTINGS}, got {setting!r}")
+    return setting
+
+
+class PairFeatureBuilder:
+    """Builds per-(region, type) feature vectors for a setting."""
+
+    def __init__(self, dataset: SiteRecDataset, setting: str) -> None:
+        self.dataset = dataset
+        self.setting = validate_setting(setting)
+        self._location = self._location_features(dataset)
+
+    @staticmethod
+    def _location_features(dataset: SiteRecDataset) -> np.ndarray:
+        grid = dataset.grid
+        rows, cols = np.divmod(np.arange(grid.num_regions), grid.cols)
+        center_dist = np.array(
+            [grid.distance_from_center(r) for r in range(grid.num_regions)]
+        )
+        peak = max(center_dist.max(), 1.0)
+        return np.stack(
+            [rows / max(grid.rows - 1, 1), cols / max(grid.cols - 1, 1), center_dist / peak],
+            axis=1,
+        )
+
+    @property
+    def dim(self) -> int:
+        base = self.dataset.region_features.shape[1] + 2
+        if self.setting == "adaption":
+            base += 6
+        return base
+
+    def __call__(self, pairs: np.ndarray) -> np.ndarray:
+        """Feature matrix ``(K, dim)`` for (region, type) pairs."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        regions, types = pairs[:, 0], pairs[:, 1]
+        ds = self.dataset
+        blocks = [
+            ds.region_features[regions],
+            ds.commercial[regions, types],  # (K, 2)
+        ]
+        if self.setting == "adaption":
+            prefs = ds.preference_features
+            pref_sa = prefs[regions, types][:, None]
+            pref_total = prefs[regions].sum(axis=1, keepdims=True)
+            pref_total = pref_total / max(prefs.sum(axis=1).max(), 1.0)
+            dt = ds.delivery_time_feature[regions][:, None]
+            blocks += [pref_sa, pref_total, dt, self._location[regions]]
+        return np.concatenate(blocks, axis=1)
+
+
+@dataclass(frozen=True)
+class MergedHeteroGraph:
+    """Period-union of the hetero multi-graph (for single-graph baselines)."""
+
+    store_regions: np.ndarray
+    customer_regions: np.ndarray
+    num_types: int
+    store_features: np.ndarray
+    customer_features: np.ndarray
+    sa_src_s: np.ndarray
+    sa_dst_a: np.ndarray
+    sa_attr: np.ndarray
+    su_src_u: np.ndarray
+    su_dst_s: np.ndarray
+    su_attr: np.ndarray  # (E, 2) mean distance, summed transactions
+    ua_src_a: np.ndarray
+    ua_dst_u: np.ndarray
+    ua_attr: np.ndarray  # (E, 1) summed transactions
+
+    @property
+    def num_store_nodes(self) -> int:
+        return len(self.store_regions)
+
+    @property
+    def num_customer_nodes(self) -> int:
+        return len(self.customer_regions)
+
+
+def merge_hetero_graph(multi: RegionTypeHeteroMultiGraph) -> MergedHeteroGraph:
+    """Union the per-period subgraphs, aggregating duplicate edges."""
+    su: Dict[Tuple[int, int], list] = {}
+    ua: Dict[Tuple[int, int], float] = {}
+    for period in TimePeriod:
+        sg = multi.subgraph(period)
+        for u, s, attr in zip(sg.su_src_u, sg.su_dst_s, sg.su_attr):
+            key = (int(u), int(s))
+            if key in su:
+                su[key][0].append(attr[0])
+                su[key][1] += attr[1]
+            else:
+                su[key] = [[attr[0]], attr[1]]
+        for a, u, attr in zip(sg.ua_src_a, sg.ua_dst_u, sg.ua_attr):
+            key = (int(a), int(u))
+            ua[key] = ua.get(key, 0.0) + float(attr[0])
+
+    su_items = sorted(su.items())
+    ua_items = sorted(ua.items())
+    su_src = np.array([k[0] for k, _ in su_items], dtype=np.int64)
+    su_dst = np.array([k[1] for k, _ in su_items], dtype=np.int64)
+    su_attr = np.array(
+        [[float(np.mean(v[0])), float(v[1])] for _, v in su_items]
+    ).reshape(-1, 2)
+    ua_src = np.array([k[0] for k, _ in ua_items], dtype=np.int64)
+    ua_dst = np.array([k[1] for k, _ in ua_items], dtype=np.int64)
+    ua_attr = np.array([[v] for _, v in ua_items]).reshape(-1, 1)
+
+    return MergedHeteroGraph(
+        store_regions=multi.store_regions,
+        customer_regions=multi.customer_regions,
+        num_types=multi.num_types,
+        store_features=multi.store_features,
+        customer_features=multi.customer_features,
+        sa_src_s=multi.sa_src_s,
+        sa_dst_a=multi.sa_dst_a,
+        sa_attr=multi.sa_attr,
+        su_src_u=su_src,
+        su_dst_s=su_dst,
+        su_attr=su_attr,
+        ua_src_a=ua_src,
+        ua_dst_u=ua_dst,
+        ua_attr=ua_attr,
+    )
+
+
+class SiteRecBaseline(Module):
+    """Base class: pair-indexing, joint loss plumbing and prediction."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        dataset: SiteRecDataset,
+        split: Optional[InteractionSplit] = None,
+        setting: str = "original",
+    ) -> None:
+        super().__init__()
+        self.dataset = dataset
+        self.split = split
+        self.setting = validate_setting(setting)
+        self.features = PairFeatureBuilder(dataset, setting)
+        self._store_index = {int(r): i for i, r in enumerate(dataset.store_regions)}
+
+    # -- shared helpers -----------------------------------------------------
+    def _pair_indices(self, pairs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        s_idx = np.array([self._store_index[int(r)] for r in pairs[:, 0]])
+        return s_idx, pairs[:, 1]
+
+    def _merged_graph(self) -> MergedHeteroGraph:
+        multi = build_hetero_multigraph(self.dataset, split=self.split)
+        return merge_hetero_graph(multi)
+
+    # -- model protocol -------------------------------------------------------
+    def score(self, pairs: np.ndarray) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def forward(self, pairs: np.ndarray) -> Tensor:
+        return self.score(pairs)
+
+    def loss(self, pairs: np.ndarray, targets: np.ndarray):
+        predictions = self.score(pairs)
+        o2 = mse_loss(predictions, targets)
+        return o2, float(o2.data), 0.0
+
+    def predict(self, pairs: np.ndarray) -> np.ndarray:
+        was_training = self.training
+        self.eval()
+        try:
+            return self.score(pairs).numpy().copy()
+        finally:
+            if was_training:
+                self.train()

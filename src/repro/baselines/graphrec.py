@@ -1,0 +1,142 @@
+"""GraphRec baseline [28] (graph neural network for social recommendation).
+
+GraphRec models users from two spaces -- an *item space* (attention over
+the user's rated items with opinion embeddings) and a *social space*
+(attention over the user's friends) -- and models items from their
+interacting users.  Following the paper's adaptation, the social graph is
+replaced by the store-region / customer-region bipartite subgraph of the
+region-type heterogeneous graph:
+
+* "users"   = store regions, "items" = store types;
+* item-space aggregation over the observed *training* (s, a) interactions,
+  with the order count as the opinion;
+* social-space aggregation over S-U edges, where each customer-region
+  neighbour is itself embedded from its U-A preferences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import SiteRecDataset
+from ..data.split import InteractionSplit
+from ..nn import MLP, Embedding, Linear, Module
+from ..tensor import Tensor, concat, gather_rows, segment_softmax, segment_sum
+from .base import SiteRecBaseline
+
+
+class _AttentionAggregate(Module):
+    """GraphRec-style attention: a two-layer MLP scores each neighbour."""
+
+    def __init__(self, src_dim: int, dst_dim: int, out_dim: int) -> None:
+        super().__init__()
+        self.score_mlp = MLP(src_dim + dst_dim, [out_dim], 1)
+        self.transform = Linear(src_dim, out_dim)
+
+    def forward(self, target: Tensor, source: Tensor, src_idx, dst_idx) -> Tensor:
+        num_targets = target.shape[0]
+        if len(src_idx) == 0:
+            return Tensor(np.zeros((num_targets, self.transform.out_features)))
+        src = gather_rows(source, src_idx)
+        dst = gather_rows(target, dst_idx)
+        scores = self.score_mlp(concat([src, dst], axis=1)).squeeze(1)
+        alpha = segment_softmax(scores, dst_idx, num_targets)
+        messages = self.transform(src).relu() * alpha.expand_dims(1)
+        return segment_sum(messages, dst_idx, num_targets)
+
+
+class GraphRec(SiteRecBaseline):
+    """Item-space + social-space attention aggregation with MLP decoder."""
+
+    name = "GraphRec"
+
+    def __init__(
+        self,
+        dataset: SiteRecDataset,
+        split: Optional[InteractionSplit] = None,
+        setting: str = "original",
+        latent_dim: int = 24,
+    ) -> None:
+        super().__init__(dataset, split, setting)
+        self.latent_dim = latent_dim
+        graph = self._merged_graph()
+        self.graph = graph
+
+        self.store_embedding = Embedding(graph.num_store_nodes, latent_dim)
+        self.customer_embedding = Embedding(graph.num_customer_nodes, latent_dim)
+        self.type_embedding = Embedding(dataset.num_types, latent_dim)
+        self.opinion = Linear(1, latent_dim)
+
+        # Customer (friend) modelling from U-A preferences.
+        self.friend_agg = _AttentionAggregate(latent_dim, latent_dim, latent_dim)
+        # Store-region item space (types it hosts) and social space (S-U).
+        self.item_agg = _AttentionAggregate(2 * latent_dim, latent_dim, latent_dim)
+        self.social_agg = _AttentionAggregate(latent_dim, latent_dim, latent_dim)
+        self.user_fuse = Linear(2 * latent_dim, latent_dim)
+        # Item modelling: types from interacting store regions.
+        self.type_agg = _AttentionAggregate(latent_dim, latent_dim, latent_dim)
+
+        decoder_in = 2 * latent_dim + (self.features.dim if setting == "adaption" else 0)
+        self.decoder = MLP(decoder_in, [latent_dim], 1)
+        self._interactions: Optional[tuple] = None
+        self._graph_store_index = {
+            int(r): i for i, r in enumerate(graph.store_regions)
+        }
+
+    # ------------------------------------------------------------------
+    def set_training_edges(self, pairs: np.ndarray, targets: np.ndarray) -> None:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        s_idx = np.array(
+            [self._graph_store_index[int(r)] for r in pairs[:, 0]], dtype=np.int64
+        )
+        self._interactions = (
+            s_idx,
+            pairs[:, 1].copy(),
+            np.asarray(targets, dtype=np.float64)[:, None],
+        )
+
+    def _node_embeddings(self):
+        graph = self.graph
+        if self._interactions is None:
+            raise RuntimeError("call set_training_edges before scoring GraphRec")
+        s_idx, a_idx, ratings = self._interactions
+
+        h0 = self.store_embedding()
+        z0 = self.customer_embedding()
+        q0 = self.type_embedding()
+
+        # Friend (customer-region) embeddings from their type preferences.
+        z = (
+            self.friend_agg(z0, q0, graph.ua_src_a, graph.ua_dst_u) + z0
+        ).relu()
+
+        # Item-space user modelling: types + opinions over train interactions.
+        opinions = self.opinion(Tensor(ratings)).relu()
+        item_msgs = concat([gather_rows(q0, a_idx), opinions], axis=1)
+        h_item = self.item_agg(h0, item_msgs, np.arange(len(s_idx)), s_idx)
+
+        # Social-space user modelling over S-U edges.
+        h_social = self.social_agg(h0, z, graph.su_src_u, graph.su_dst_s)
+        h = self.user_fuse(concat([h_item, h_social], axis=1)).relu() + h0
+
+        # Item modelling: types aggregate their interacting store regions.
+        q = (self.type_agg(q0, h0, s_idx, a_idx) + q0).relu()
+        return h, q
+
+    def score(self, pairs: np.ndarray) -> Tensor:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        h, q = self._node_embeddings()
+        s_idx = np.array(
+            [self._graph_store_index[int(r)] for r in pairs[:, 0]], dtype=np.int64
+        )
+        parts = [gather_rows(h, s_idx), gather_rows(q, pairs[:, 1])]
+        if self.setting == "adaption":
+            parts.append(Tensor(self.features(pairs)))
+        return self.decoder(concat(parts, axis=1)).squeeze(1)
+
+    def loss(self, pairs: np.ndarray, targets: np.ndarray):
+        if self._interactions is None:
+            self.set_training_edges(pairs, targets)
+        return super().loss(pairs, targets)

@@ -1,0 +1,179 @@
+"""HGT baseline [31] (heterogeneous graph transformer).
+
+The paper's strongest baseline.  Per the HGT design, each node *type* gets
+its own key/query/value projections and each *relation* gets attention and
+message matrices plus a learned priority:
+
+``att(j -> i) = softmax_j( (K(j) W_att^r Q(i)) * mu_r / sqrt(d) )``
+``msg(j)      = V(j) W_msg^r``
+``h_i'        = A_type( sum_j att * msg ) + h_i``
+
+Multi-head, two layers, over the merged region-type heterogeneous graph.
+HGT attends over node content but is blind to edge attributes and to the
+multi-graph's time structure -- the two gaps O2-SiteRec targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataset import SiteRecDataset
+from ..data.split import InteractionSplit
+from ..nn import MLP, Embedding, Linear, Module, ModuleList, Parameter, init
+from ..tensor import Tensor, concat, gather_rows, segment_softmax, segment_sum
+from .base import SiteRecBaseline
+from .rgcn import RELATIONS, relation_edges
+
+NODE_KINDS = ("s", "u", "a")
+
+
+class _HGTLayer(Module):
+    """One heterogeneous graph transformer layer."""
+
+    def __init__(self, dim: int, num_heads: int = 4) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by {num_heads} heads")
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.dim = dim
+        self.k_proj = {k: Linear(dim, dim, bias=False) for k in NODE_KINDS}
+        self.q_proj = {k: Linear(dim, dim, bias=False) for k in NODE_KINDS}
+        self.v_proj = {k: Linear(dim, dim, bias=False) for k in NODE_KINDS}
+        self.a_proj = {k: Linear(dim, dim) for k in NODE_KINDS}
+        self.w_att = {
+            name: Parameter(
+                np.eye(self.head_dim) + init.normal((self.head_dim, self.head_dim), 0.05),
+                name=f"w_att_{name}",
+            )
+            for name, _, _ in RELATIONS
+        }
+        self.w_msg = {
+            name: Parameter(
+                np.eye(self.head_dim) + init.normal((self.head_dim, self.head_dim), 0.05),
+                name=f"w_msg_{name}",
+            )
+            for name, _, _ in RELATIONS
+        }
+        self.priority = {
+            name: Parameter(np.ones(1), name=f"mu_{name}") for name, _, _ in RELATIONS
+        }
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+
+    def forward(self, nodes: Dict[str, Tensor], edges) -> Dict[str, Tensor]:
+        keys = {k: self._split(self.k_proj[k](h)) for k, h in nodes.items()}
+        queries = {k: self._split(self.q_proj[k](h)) for k, h in nodes.items()}
+        values = {k: self._split(self.v_proj[k](h)) for k, h in nodes.items()}
+
+        incoming: Dict[str, List[Tensor]] = {k: [] for k in nodes}
+        for name, src_kind, dst_kind in RELATIONS:
+            src_idx, dst_idx = edges[name]
+            num_edges = len(src_idx)
+            if num_edges == 0:
+                continue
+            num_dst = nodes[dst_kind].shape[0]
+            k_e = gather_rows(keys[src_kind], src_idx)  # (E, H, hd)
+            q_e = gather_rows(queries[dst_kind], dst_idx)
+            v_e = gather_rows(values[src_kind], src_idx)
+
+            k_att = (
+                k_e.reshape(num_edges * self.num_heads, self.head_dim)
+                @ self.w_att[name]
+            ).reshape(num_edges, self.num_heads, self.head_dim)
+            scores = (k_att * q_e).sum(axis=2) * self.scale
+            scores = scores * self.priority[name]
+            alpha = segment_softmax(scores, dst_idx, num_dst)
+
+            msg = (
+                v_e.reshape(num_edges * self.num_heads, self.head_dim)
+                @ self.w_msg[name]
+            ).reshape(num_edges, self.num_heads, self.head_dim)
+            weighted = (msg * alpha.expand_dims(2)).reshape(num_edges, self.dim)
+            incoming[dst_kind].append(segment_sum(weighted, dst_idx, num_dst))
+
+        out = {}
+        for kind, h in nodes.items():
+            if incoming[kind]:
+                total = incoming[kind][0]
+                for msg in incoming[kind][1:]:
+                    total = total + msg
+                out[kind] = self.a_proj[kind](total.relu()).relu() + h
+            else:
+                out[kind] = h
+        return out
+
+    def _split(self, t: Tensor) -> Tensor:
+        n = t.shape[0]
+        return t.reshape(n, self.num_heads, self.head_dim)
+
+
+class HGT(SiteRecBaseline):
+    """Heterogeneous graph transformer over the merged hetero graph."""
+
+    name = "HGT"
+
+    def __init__(
+        self,
+        dataset: SiteRecDataset,
+        split: Optional[InteractionSplit] = None,
+        setting: str = "original",
+        latent_dim: int = 24,
+        num_layers: int = 2,
+        num_heads: int = 4,
+    ) -> None:
+        super().__init__(dataset, split, setting)
+        graph = self._merged_graph()
+        self.graph = graph
+        self._edges = relation_edges(graph)
+        self._graph_store_index = {
+            int(r): i for i, r in enumerate(graph.store_regions)
+        }
+
+        self.store_embedding = Embedding(graph.num_store_nodes, latent_dim)
+        self.customer_embedding = Embedding(graph.num_customer_nodes, latent_dim)
+        self.type_embedding = Embedding(dataset.num_types, latent_dim)
+        if setting == "adaption":
+            feat_dim = graph.store_features.shape[1]
+            self.fuse_s: Optional[Linear] = Linear(latent_dim + feat_dim, latent_dim)
+            self.fuse_u: Optional[Linear] = Linear(latent_dim + feat_dim, latent_dim)
+        else:
+            self.fuse_s = None
+            self.fuse_u = None
+        self.layers = ModuleList(
+            _HGTLayer(latent_dim, num_heads) for _ in range(num_layers)
+        )
+        decoder_in = 2 * latent_dim + (self.features.dim if setting == "adaption" else 0)
+        self.decoder = MLP(decoder_in, [latent_dim], 1)
+
+    def _node_embeddings(self):
+        nodes = {
+            "s": self.store_embedding(),
+            "u": self.customer_embedding(),
+            "a": self.type_embedding(),
+        }
+        if self.fuse_s is not None:
+            nodes["s"] = self.fuse_s(
+                concat([nodes["s"], Tensor(self.graph.store_features)], axis=1)
+            ).relu()
+            nodes["u"] = self.fuse_u(
+                concat([nodes["u"], Tensor(self.graph.customer_features)], axis=1)
+            ).relu()
+        for layer in self.layers:
+            nodes = layer(nodes, self._edges)
+        return nodes
+
+    def score(self, pairs: np.ndarray) -> Tensor:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        nodes = self._node_embeddings()
+        s_idx = np.array(
+            [self._graph_store_index[int(r)] for r in pairs[:, 0]], dtype=np.int64
+        )
+        parts = [
+            gather_rows(nodes["s"], s_idx),
+            gather_rows(nodes["a"], pairs[:, 1]),
+        ]
+        if self.setting == "adaption":
+            parts.append(Tensor(self.features(pairs)))
+        return self.decoder(concat(parts, axis=1)).squeeze(1)

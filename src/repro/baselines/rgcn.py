@@ -1,0 +1,140 @@
+"""RGCN baseline [30] (relational graph convolutional network).
+
+The first GNN to model multi-relational graphs: per relation ``r`` a
+dedicated weight matrix transforms incoming messages, which are mean
+normalised and summed over relations with a self-loop term:
+
+``h_i^{l+1} = relu(W_0 h_i^l + sum_r (1/|N_i^r|) sum_{j in N_i^r} W_r h_j^l)``
+
+Applied to the (period-merged) region-type heterogeneous graph with six
+directed relations (S-U, U-S, U-A, A-U, S-A, A-S); a per-pair MLP decodes
+(store-region, type) scores.  RGCN uses neither edge attributes nor
+attention -- the gap the paper's comparison highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import SiteRecDataset
+from ..data.split import InteractionSplit
+from ..nn import MLP, Embedding, Linear, Module, ModuleList
+from ..tensor import Tensor, concat, gather_rows, segment_mean
+from .base import MergedHeteroGraph, SiteRecBaseline
+
+# (name, src kind, dst kind); kinds: s=store-region, u=customer-region, a=type
+RELATIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("u->s", "u", "s"),
+    ("s->u", "s", "u"),
+    ("a->u", "a", "u"),
+    ("u->a", "u", "a"),
+    ("s->a", "s", "a"),
+    ("a->s", "a", "s"),
+)
+
+
+def relation_edges(graph: MergedHeteroGraph) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Edge index arrays (src, dst) for each directed relation."""
+    return {
+        "u->s": (graph.su_src_u, graph.su_dst_s),
+        "s->u": (graph.su_dst_s, graph.su_src_u),
+        "a->u": (graph.ua_src_a, graph.ua_dst_u),
+        "u->a": (graph.ua_dst_u, graph.ua_src_a),
+        "s->a": (graph.sa_src_s, graph.sa_dst_a),
+        "a->s": (graph.sa_dst_a, graph.sa_src_s),
+    }
+
+
+class _RGCNLayer(Module):
+    """One relational convolution over the three node kinds."""
+
+    def __init__(self, dim: int) -> None:
+        super().__init__()
+        self.rel_weights = {name: Linear(dim, dim, bias=False) for name, _, _ in RELATIONS}
+        self.self_weights = {kind: Linear(dim, dim) for kind in ("s", "u", "a")}
+
+    def forward(self, nodes: Dict[str, Tensor], edges) -> Dict[str, Tensor]:
+        incoming: Dict[str, List[Tensor]] = {k: [] for k in nodes}
+        for name, src_kind, dst_kind in RELATIONS:
+            src_idx, dst_idx = edges[name]
+            if len(src_idx) == 0:
+                continue
+            messages = self.rel_weights[name](gather_rows(nodes[src_kind], src_idx))
+            agg = segment_mean(messages, dst_idx, nodes[dst_kind].shape[0])
+            incoming[dst_kind].append(agg)
+        out = {}
+        for kind, h in nodes.items():
+            total = self.self_weights[kind](h)
+            for msg in incoming[kind]:
+                total = total + msg
+            out[kind] = total.relu()
+        return out
+
+
+class RGCN(SiteRecBaseline):
+    """Relational GCN over the merged region-type heterogeneous graph."""
+
+    name = "RGCN"
+
+    def __init__(
+        self,
+        dataset: SiteRecDataset,
+        split: Optional[InteractionSplit] = None,
+        setting: str = "original",
+        latent_dim: int = 24,
+        num_layers: int = 2,
+    ) -> None:
+        super().__init__(dataset, split, setting)
+        graph = self._merged_graph()
+        self.graph = graph
+        self._edges = relation_edges(graph)
+        self._graph_store_index = {
+            int(r): i for i, r in enumerate(graph.store_regions)
+        }
+
+        self.store_embedding = Embedding(graph.num_store_nodes, latent_dim)
+        self.customer_embedding = Embedding(graph.num_customer_nodes, latent_dim)
+        self.type_embedding = Embedding(dataset.num_types, latent_dim)
+        if setting == "adaption":
+            feat_dim = graph.store_features.shape[1]
+            self.fuse_s: Optional[Linear] = Linear(latent_dim + feat_dim, latent_dim)
+            self.fuse_u: Optional[Linear] = Linear(latent_dim + feat_dim, latent_dim)
+        else:
+            self.fuse_s = None
+            self.fuse_u = None
+        self.layers = ModuleList(_RGCNLayer(latent_dim) for _ in range(num_layers))
+        decoder_in = 2 * latent_dim + (self.features.dim if setting == "adaption" else 0)
+        self.decoder = MLP(decoder_in, [latent_dim], 1)
+
+    def _node_embeddings(self):
+        nodes = {
+            "s": self.store_embedding(),
+            "u": self.customer_embedding(),
+            "a": self.type_embedding(),
+        }
+        if self.fuse_s is not None:
+            nodes["s"] = self.fuse_s(
+                concat([nodes["s"], Tensor(self.graph.store_features)], axis=1)
+            ).relu()
+            nodes["u"] = self.fuse_u(
+                concat([nodes["u"], Tensor(self.graph.customer_features)], axis=1)
+            ).relu()
+        for layer in self.layers:
+            nodes = layer(nodes, self._edges)
+        return nodes
+
+    def score(self, pairs: np.ndarray) -> Tensor:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        nodes = self._node_embeddings()
+        s_idx = np.array(
+            [self._graph_store_index[int(r)] for r in pairs[:, 0]], dtype=np.int64
+        )
+        parts = [
+            gather_rows(nodes["s"], s_idx),
+            gather_rows(nodes["a"], pairs[:, 1]),
+        ]
+        if self.setting == "adaption":
+            parts.append(Tensor(self.features(pairs)))
+        return self.decoder(concat(parts, axis=1)).squeeze(1)

@@ -1,0 +1,53 @@
+"""Synthetic O2O city simulator (the stand-in for the Eleme dataset)."""
+
+from .config import (
+    ARCHETYPES,
+    NUM_ARCHETYPES,
+    POI_TYPES,
+    CityConfig,
+    StoreType,
+    default_store_types,
+)
+from .couriers import ACTIVE_FRACTION, ORDER_PROPENSITY, CourierFleet, build_fleet
+from .dispatch import CourierState, DispatchSimulator, dispatch_orders
+from .landuse import CityLandUse, assign_archetypes, synthesize_land_use
+from .orders import OrderGenerator
+from .simulator import (
+    SimulationResult,
+    real_world_dataset,
+    simulate,
+    simulation_dataset,
+    tiny_dataset,
+)
+from .stores import PlacedStore, place_stores, store_type_counts
+from .trajectories import iter_trajectories, trajectory_for_order
+
+__all__ = [
+    "CityConfig",
+    "StoreType",
+    "default_store_types",
+    "ARCHETYPES",
+    "NUM_ARCHETYPES",
+    "POI_TYPES",
+    "CityLandUse",
+    "assign_archetypes",
+    "synthesize_land_use",
+    "PlacedStore",
+    "place_stores",
+    "store_type_counts",
+    "CourierFleet",
+    "build_fleet",
+    "DispatchSimulator",
+    "CourierState",
+    "dispatch_orders",
+    "ACTIVE_FRACTION",
+    "ORDER_PROPENSITY",
+    "OrderGenerator",
+    "SimulationResult",
+    "simulate",
+    "real_world_dataset",
+    "simulation_dataset",
+    "tiny_dataset",
+    "trajectory_for_order",
+    "iter_trajectories",
+]

@@ -1,0 +1,152 @@
+"""Simulation configuration and the store-type catalogue.
+
+The store-type catalogue includes the six types the paper's Fig. 12/13
+highlights (light meal, light salad, fruit, steamed buns, juice, fried
+chicken) plus common O2O categories.  Each type carries a period-popularity
+profile (Fig. 5: preferences change along the day) and an affinity to the
+land-use archetypes (demand for juice concentrates downtown, steamed buns in
+residential mornings, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..data.periods import NUM_PERIODS
+
+# Archetype order used in every affinity vector below.
+ARCHETYPES = ("downtown", "office", "residential", "suburb")
+NUM_ARCHETYPES = len(ARCHETYPES)
+
+POI_TYPES = (
+    "restaurant",
+    "office_building",
+    "residence",
+    "mall",
+    "school",
+    "hospital",
+    "metro_station",
+    "entertainment",
+    "bank",
+    "park",
+)
+
+
+@dataclass(frozen=True)
+class StoreType:
+    """A store category with its temporal and spatial demand profile."""
+
+    name: str
+    # Relative popularity per period (morning, noon, afternoon, evening, night).
+    period_popularity: Tuple[float, ...]
+    # Relative demand per archetype (downtown, office, residential, suburb).
+    archetype_affinity: Tuple[float, ...]
+    # Mean food-preparation time in minutes.
+    prep_minutes: float = 10.0
+
+    def __post_init__(self) -> None:
+        if len(self.period_popularity) != NUM_PERIODS:
+            raise ValueError(f"{self.name}: need {NUM_PERIODS} period weights")
+        if len(self.archetype_affinity) != NUM_ARCHETYPES:
+            raise ValueError(f"{self.name}: need {NUM_ARCHETYPES} archetype weights")
+
+
+def default_store_types() -> List[StoreType]:
+    """The 14-type catalogue used by the default simulations."""
+    return [
+        #                 morn  noon  aft   eve   night   down  off   res   sub
+        StoreType("light_meal", (0.6, 1.8, 0.7, 1.6, 0.7), (1.2, 1.6, 1.0, 0.5), 9),
+        StoreType("light_salad", (0.4, 1.5, 0.6, 1.2, 0.4), (1.5, 1.7, 0.7, 0.3), 7),
+        StoreType("fruit", (0.5, 0.9, 1.3, 1.2, 1.0), (1.1, 0.9, 1.3, 0.7), 5),
+        StoreType("steamed_buns", (1.9, 0.8, 0.3, 0.6, 0.3), (0.7, 0.9, 1.6, 1.0), 6),
+        StoreType("juice", (0.5, 1.2, 1.5, 1.0, 0.6), (1.6, 1.4, 0.7, 0.4), 5),
+        StoreType("fried_chicken", (0.2, 1.0, 0.8, 1.5, 1.6), (1.2, 0.8, 1.2, 0.8), 11),
+        StoreType("coffee", (1.5, 1.3, 1.4, 0.7, 0.3), (1.7, 1.8, 0.5, 0.3), 6),
+        StoreType("snack", (0.6, 0.9, 1.4, 1.0, 1.4), (1.3, 1.0, 1.1, 0.7), 7),
+        StoreType("breakfast", (2.2, 0.5, 0.1, 0.2, 0.1), (0.8, 1.1, 1.5, 1.0), 6),
+        StoreType("dessert", (0.3, 0.9, 1.5, 1.1, 1.1), (1.5, 1.2, 0.9, 0.4), 8),
+        StoreType("noodles", (0.7, 1.7, 0.6, 1.4, 0.8), (1.0, 1.2, 1.2, 0.8), 9),
+        StoreType("pizza", (0.1, 1.1, 0.5, 1.4, 1.1), (1.3, 1.1, 0.9, 0.5), 14),
+        StoreType("hotpot", (0.1, 0.7, 0.3, 1.5, 1.5), (1.2, 0.7, 1.1, 0.6), 16),
+        StoreType("bbq", (0.1, 0.5, 0.2, 1.2, 2.0), (1.1, 0.6, 1.2, 0.8), 13),
+    ]
+
+
+@dataclass
+class CityConfig:
+    """All knobs of the synthetic O2O city.
+
+    The defaults give a medium city that trains in seconds; the presets in
+    :mod:`repro.city.simulator` derive the paper-shaped configurations.
+    """
+
+    rows: int = 14
+    cols: int = 14
+    cell_size: float = 500.0
+    num_days: int = 14
+    num_couriers: int = 240
+    seed: int = 7
+
+    # Demand scale: expected orders per 1000 residents per period-hour.
+    order_rate: float = 1.1
+    # Mean population of a fully residential region.
+    base_population: float = 2600.0
+
+    # Courier behaviour.
+    courier_speed_m_per_min: float = 250.0  # ~15 km/h e-bike
+    handling_minutes: float = 6.0  # parking, pickup, handover
+    congestion_strength: float = 14.0  # delivery-time sensitivity to shortage
+
+    # Delivery scope pressure control (Section II-B2).
+    base_scope_m: float = 3200.0
+    min_scope_m: float = 1500.0
+    max_scope_m: float = 4200.0
+
+    # Customer choice model.  A mild distance decay lets the platform's
+    # pressure-controlled scope bound actually bind, so observed farthest
+    # delivery distances track the scope control (Fig. 3).
+    distance_decay_m: float = 2600.0
+    time_tolerance_min: float = 15.0
+
+    # "formula": delivery times from the closed-form congestion model;
+    # "agents": event-driven courier dispatch (see repro.city.dispatch).
+    dispatch_mode: str = "formula"
+
+    # Data-quality knobs (the "simulation dataset" preset degrades these).
+    demand_noise: float = 0.15  # day-to-day lognormal sigma on demand
+    observation_noise: float = 0.0  # extra noise on recorded delivery times
+    sparsity: float = 1.0  # multiplier on overall demand volume
+
+    store_types: List[StoreType] = field(default_factory=default_store_types)
+
+    def __post_init__(self) -> None:
+        if self.rows < 4 or self.cols < 4:
+            raise ValueError("city grid must be at least 4x4")
+        if self.num_days < 1:
+            raise ValueError("num_days must be >= 1")
+        if not self.store_types:
+            raise ValueError("store_types must be non-empty")
+        if self.sparsity <= 0:
+            raise ValueError("sparsity must be positive")
+        if self.dispatch_mode not in ("formula", "agents"):
+            raise ValueError(
+                f"dispatch_mode must be 'formula' or 'agents', "
+                f"got {self.dispatch_mode!r}"
+            )
+
+    @property
+    def num_store_types(self) -> int:
+        return len(self.store_types)
+
+    @property
+    def type_names(self) -> List[str]:
+        return [t.name for t in self.store_types]
+
+    def type_index(self, name: str) -> int:
+        try:
+            return self.type_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown store type {name!r}") from None

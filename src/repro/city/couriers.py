@@ -1,0 +1,188 @@
+"""Courier fleet: supply, congestion, delivery times and delivery scopes.
+
+This module encodes the paper's Section II-B observations as the simulator's
+ground truth:
+
+* the *supply-demand ratio* (couriers per order) dips during the noon and
+  evening rush hours (Fig. 1);
+* *delivery time* tracks the supply-demand ratio (Fig. 2) -- our delivery
+  time model multiplies travel time by a congestion factor that grows as the
+  regional ratio falls;
+* the platform's *pressure control* scales each store's delivery scope with
+  the regional ratio (Fig. 3), shrinking it at rush hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..data.periods import NUM_PERIODS, TimePeriod
+from .config import CityConfig
+from .landuse import CityLandUse
+
+# Fraction of the fleet on shift per period.
+ACTIVE_FRACTION = {
+    TimePeriod.MORNING: 0.55,
+    TimePeriod.NOON_RUSH: 0.95,
+    TimePeriod.AFTERNOON: 0.60,
+    TimePeriod.EVENING_RUSH: 1.00,
+    TimePeriod.NIGHT: 0.50,
+}
+
+# Relative customer ordering propensity per period (drives demand peaks).
+ORDER_PROPENSITY = {
+    TimePeriod.MORNING: 0.55,
+    TimePeriod.NOON_RUSH: 1.45,
+    TimePeriod.AFTERNOON: 0.50,
+    TimePeriod.EVENING_RUSH: 1.30,
+    TimePeriod.NIGHT: 0.60,
+}
+
+
+@dataclass
+class CourierFleet:
+    """Per-(region, period) courier supply and derived capacity quantities.
+
+    Attributes
+    ----------
+    supply:
+        ``(N, P)`` couriers allocated to each region in each period.
+    demand_rate:
+        ``(N, P)`` expected orders per hour originating near each region.
+    ratio:
+        ``(N, P)`` supply-demand ratio, normalised so the city mean is 1.
+    couriers_by_region:
+        courier-id pool per region (for stamping order records).
+    """
+
+    config: CityConfig
+    supply: np.ndarray
+    demand_rate: np.ndarray
+    ratio: np.ndarray
+    couriers_by_region: List[List[str]]
+
+    # -- capacity-derived quantities ----------------------------------------
+    def congestion(self, region: int, period: TimePeriod) -> float:
+        """Travel-time multiplier: grows when the regional ratio is low.
+
+        Exponential in the (normalised) supply-demand ratio so rush-hour
+        shortages produce the pronounced delivery-time spread of Fig. 2.
+        """
+        rho = self.ratio[region, int(period)]
+        return 1.0 + self.config.congestion_strength * 0.25 * float(np.exp(-rho))
+
+    def delivery_minutes(
+        self,
+        store_region: int,
+        distance_m: float,
+        period: TimePeriod,
+        rng: np.random.Generator = None,
+    ) -> float:
+        """Ground-truth delivery time (pickup-report to delivery-report)."""
+        cfg = self.config
+        travel = distance_m / cfg.courier_speed_m_per_min
+        minutes = cfg.handling_minutes + travel * self.congestion(
+            store_region, period
+        )
+        if rng is not None:
+            minutes *= rng.lognormal(0.0, 0.12)
+            if cfg.observation_noise > 0:
+                minutes += rng.normal(0.0, cfg.observation_noise * minutes)
+        return float(max(minutes, 2.0))
+
+    def delivery_scope_m(self, region: int, period: TimePeriod) -> float:
+        """Pressure-controlled farthest delivery distance of a store region."""
+        cfg = self.config
+        rho = self.ratio[region, int(period)]
+        scope = cfg.base_scope_m * rho**0.35
+        return float(np.clip(scope, cfg.min_scope_m, cfg.max_scope_m))
+
+    def scope_matrix(self) -> np.ndarray:
+        """``(N, P)`` delivery scopes for all regions and periods."""
+        n, p = self.ratio.shape
+        return np.array(
+            [
+                [self.delivery_scope_m(r, TimePeriod(t)) for t in range(p)]
+                for r in range(n)
+            ]
+        )
+
+    def active_couriers(self, period: TimePeriod) -> float:
+        """City-wide couriers on shift in ``period`` (Fig. 1 supply curve)."""
+        return self.config.num_couriers * ACTIVE_FRACTION[period]
+
+    def sample_courier(
+        self, region: int, rng: np.random.Generator
+    ) -> str:
+        """Pick a courier id serving ``region`` (falls back to any courier)."""
+        pool = self.couriers_by_region[region]
+        if not pool:
+            pool = [c for regional in self.couriers_by_region for c in regional]
+        return pool[int(rng.integers(len(pool)))]
+
+
+def expected_demand(config: CityConfig, land: CityLandUse) -> np.ndarray:
+    """Expected orders per hour per (region, period) from population."""
+    propensity = np.array([ORDER_PROPENSITY[p] for p in TimePeriod])
+    return (
+        land.population
+        * (config.order_rate / 1000.0)
+        * propensity[None, :]
+        * config.sparsity
+    )
+
+
+def _smooth_over_neighbors(values: np.ndarray, land: CityLandUse) -> np.ndarray:
+    """Average each region's column vector with its 800 m neighbours."""
+    n = land.num_regions
+    smoothed = values.copy()
+    for r in range(n):
+        neigh = land.grid.neighbors_within(r, 800.0)
+        if neigh:
+            smoothed[r] = (values[r] + values[neigh].sum(axis=0)) / (len(neigh) + 1)
+    return smoothed
+
+
+def build_fleet(
+    config: CityConfig, land: CityLandUse, rng: np.random.Generator
+) -> CourierFleet:
+    """Allocate the fleet across regions and periods.
+
+    Couriers follow demand (platforms position them where orders are), but
+    the per-period fleet size is capped by the shift schedule, so rush-hour
+    regions end up with a *lower* ratio despite having *more* couriers --
+    exactly the Fig. 1 observation.
+    """
+    demand = expected_demand(config, land)  # (N, P) orders/hour
+    smoothed = _smooth_over_neighbors(demand, land)
+
+    supply = np.zeros_like(demand)
+    for period in TimePeriod:
+        t = int(period)
+        total = config.num_couriers * ACTIVE_FRACTION[period]
+        weights = smoothed[:, t] + smoothed[:, t].mean() * 0.1 + 1e-9
+        supply[:, t] = total * weights / weights.sum()
+
+    ratio = supply / np.maximum(demand, 1e-6)
+    ratio = ratio / max(ratio.mean(), 1e-9)
+    # Clamp so deserted regions do not get absurd capacity.
+    ratio = np.clip(ratio, 0.15, 6.0)
+
+    # Assign courier ids to home regions by noon-rush supply.
+    noon = supply[:, int(TimePeriod.NOON_RUSH)]
+    probs = noon / noon.sum()
+    homes = rng.choice(land.num_regions, size=config.num_couriers, p=probs)
+    pools: List[List[str]] = [[] for _ in range(land.num_regions)]
+    for i, home in enumerate(homes):
+        pools[int(home)].append(f"C{i:05d}")
+
+    return CourierFleet(
+        config=config,
+        supply=supply,
+        demand_rate=demand,
+        ratio=ratio,
+        couriers_by_region=pools,
+    )

@@ -1,0 +1,259 @@
+"""Order generation: the demand side of the synthetic O2O platform.
+
+For every (day, period, customer-region) we draw a Poisson number of orders,
+assign each a store type (period popularity x archetype affinity x sticky
+regional taste -- Section II-C: preferences differ by period and by
+neighbourhood), and pick a store among those whose pressure-controlled
+delivery scope covers the customer, weighted by store quality, distance
+decay and estimated delivery time (Section II-B3: long delivery times deter
+customers).  The result is a list of Table-I order records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..data.periods import NUM_PERIODS, TimePeriod
+from ..data.records import MINUTES_PER_DAY, OrderRecord
+from .config import CityConfig
+from .couriers import CourierFleet
+from .landuse import CityLandUse
+from .stores import PlacedStore
+
+
+@dataclass
+class _StoreIndex:
+    """Per-type store lookup tables for vectorised choice."""
+
+    indices: np.ndarray  # global store index per type member
+    positions: np.ndarray  # (k, 2) metres
+    regions: np.ndarray  # (k,)
+    qualities: np.ndarray  # (k,)
+
+
+def _index_stores(stores: List[PlacedStore], num_types: int) -> List[_StoreIndex]:
+    by_type: List[List[int]] = [[] for _ in range(num_types)]
+    for i, s in enumerate(stores):
+        by_type[s.record.store_type].append(i)
+    result = []
+    for members in by_type:
+        members_arr = np.array(members, dtype=np.int64)
+        result.append(
+            _StoreIndex(
+                indices=members_arr,
+                positions=np.array([[stores[i].x, stores[i].y] for i in members])
+                if members
+                else np.zeros((0, 2)),
+                regions=np.array(
+                    [stores[i].record.region for i in members], dtype=np.int64
+                ),
+                qualities=np.array([stores[i].quality for i in members]),
+            )
+        )
+    return result
+
+
+class OrderGenerator:
+    """Generates a month of orders for a synthetic city."""
+
+    def __init__(
+        self,
+        config: CityConfig,
+        land: CityLandUse,
+        stores: List[PlacedStore],
+        fleet: CourierFleet,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.land = land
+        self.stores = stores
+        self.fleet = fleet
+        self.rng = rng
+        self._store_index = _index_stores(stores, config.num_store_types)
+        self._centroids = land.grid.centroids()
+        # Sticky regional taste: shared with store placement (see landuse).
+        self._taste = land.taste
+        self._popularity = np.array(
+            [t.period_popularity for t in config.store_types]
+        )  # (T, P)
+        self._affinity = np.array(
+            [t.archetype_affinity for t in config.store_types]
+        )  # (T, 4)
+        self._prep = np.array([t.prep_minutes for t in config.store_types])
+        # Congestion multiplier per (store, period), from the store's region.
+        self._congestion = np.array(
+            [
+                [
+                    fleet.congestion(s.record.region, TimePeriod(t))
+                    for t in range(NUM_PERIODS)
+                ]
+                for s in stores
+            ]
+        )
+        self._scopes = fleet.scope_matrix()  # (N, P)
+        self._choice_cache: Dict[Tuple[int, int, int], Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def _type_probabilities(self, region: int, period: TimePeriod) -> np.ndarray:
+        arch = int(self.land.archetype[region])
+        weights = (
+            self._popularity[:, int(period)]
+            * self._affinity[:, arch]
+            * self._taste[region]
+        )
+        total = weights.sum()
+        if total <= 0:  # pragma: no cover - defensive
+            return np.full(len(weights), 1.0 / len(weights))
+        return weights / total
+
+    def _store_choice(
+        self, region: int, store_type: int, period: TimePeriod
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate store indices (into the per-type table) and probabilities.
+
+        Cached per (region, type, period): scopes and congestion are static
+        within a simulated month.
+        """
+        key = (region, store_type, int(period))
+        cached = self._choice_cache.get(key)
+        if cached is not None:
+            return cached
+
+        table = self._store_index[store_type]
+        if len(table.indices) == 0:
+            self._choice_cache[key] = (np.array([], dtype=np.int64), np.array([]))
+            return self._choice_cache[key]
+
+        cfg = self.config
+        centroid = self._centroids[region]
+        dists = np.sqrt(((table.positions - centroid) ** 2).sum(axis=1))
+        scopes = self._scopes[table.regions, int(period)]
+        within = dists <= scopes
+        if not within.any():
+            # Fall back to the three nearest stores (platform always shows
+            # *something*, albeit with long delivery times).
+            within = np.zeros_like(within)
+            within[np.argsort(dists)[:3]] = True
+
+        candidates = np.flatnonzero(within)
+        d = dists[candidates]
+        est_time = (
+            cfg.handling_minutes
+            + d
+            / cfg.courier_speed_m_per_min
+            * self._congestion[table.indices[candidates], int(period)]
+        )
+        weights = (
+            table.qualities[candidates]
+            * np.exp(-d / cfg.distance_decay_m)
+            * np.exp(-est_time / cfg.time_tolerance_min)
+        )
+        total = weights.sum()
+        probs = weights / total if total > 0 else np.full(len(weights), 1.0 / len(weights))
+        self._choice_cache[key] = (candidates, probs)
+        return self._choice_cache[key]
+
+    # ------------------------------------------------------------------
+    def generate(self) -> List[OrderRecord]:
+        """Simulate ``config.num_days`` days of orders."""
+        cfg = self.config
+        rng = self.rng
+        orders: List[OrderRecord] = []
+        order_counter = 0
+        num_regions = self.land.num_regions
+
+        for day in range(cfg.num_days):
+            weekend = day % 7 in (5, 6)
+            day_factor = (1.15 if weekend else 1.0) * rng.lognormal(
+                0.0, cfg.demand_noise
+            )
+            for period in TimePeriod:
+                t = int(period)
+                start_hour, end_hour = period.hours
+                lam = (
+                    self.fleet.demand_rate[:, t]
+                    * period.duration_hours
+                    * day_factor
+                )
+                counts = rng.poisson(lam)
+                for region in np.flatnonzero(counts):
+                    n = int(counts[region])
+                    type_probs = self._type_probabilities(region, period)
+                    type_counts = rng.multinomial(n, type_probs)
+                    for store_type in np.flatnonzero(type_counts):
+                        k = int(type_counts[store_type])
+                        candidates, probs = self._store_choice(
+                            region, int(store_type), period
+                        )
+                        if len(candidates) == 0:
+                            continue  # type has no store anywhere
+                        picks = rng.choice(candidates, size=k, p=probs)
+                        for pick in picks:
+                            orders.append(
+                                self._make_order(
+                                    order_counter,
+                                    day,
+                                    period,
+                                    region,
+                                    int(store_type),
+                                    int(pick),
+                                )
+                            )
+                            order_counter += 1
+        return orders
+
+    def _make_order(
+        self,
+        counter: int,
+        day: int,
+        period: TimePeriod,
+        customer_region: int,
+        store_type: int,
+        pick: int,
+    ) -> OrderRecord:
+        cfg = self.config
+        rng = self.rng
+        table = self._store_index[store_type]
+        store = self.stores[int(table.indices[pick])]
+
+        row, col = self.land.grid.row_col(customer_region)
+        cx = (col + rng.random()) * cfg.cell_size
+        cy = (row + rng.random()) * cfg.cell_size
+        distance = float(np.hypot(store.x - cx, store.y - cy))
+
+        start_hour, end_hour = period.hours
+        created = (
+            day * MINUTES_PER_DAY
+            + start_hour * 60
+            + rng.random() * (end_hour - start_hour) * 60
+        )
+        accepted = created + 0.3 + rng.exponential(1.2)
+        prep = max(2.0, self._prep[store_type] * rng.lognormal(0.0, 0.2))
+        pickup = accepted + prep
+        delivery = self.fleet.delivery_minutes(
+            store.record.region, distance, period, rng
+        )
+        delivered = pickup + delivery
+
+        clon, clat = self.land.grid.to_lonlat(cx, cy)
+        return OrderRecord(
+            order_id=f"O{counter:07d}",
+            store_id=store.record.store_id,
+            customer_id=f"U{customer_region:04d}_{int(rng.integers(10_000)):04d}",
+            courier_id=self.fleet.sample_courier(store.record.region, rng),
+            store_lon=store.record.lon,
+            store_lat=store.record.lat,
+            customer_lon=clon,
+            customer_lat=clat,
+            store_region=store.record.region,
+            customer_region=customer_region,
+            created_minute=float(created),
+            accepted_minute=float(accepted),
+            pickup_minute=float(pickup),
+            delivered_minute=float(delivered),
+            distance_m=distance,
+            store_type=store_type,
+        )

@@ -1,0 +1,26 @@
+"""The paper's contribution: O2-SiteRec and its components."""
+
+from .capacity import CourierCapacityModel, geographic_weights
+from .model import O2SiteRec, O2SiteRecConfig, paper_hyperparams
+from .ranking import Recommendation, recommend_sites
+from .recommender import HeteroRecommender
+from .serialize import load_config, load_model, save_model
+from .trainer import TrainConfig, Trainer, TrainResult, paper_train_config
+
+__all__ = [
+    "CourierCapacityModel",
+    "geographic_weights",
+    "HeteroRecommender",
+    "O2SiteRec",
+    "O2SiteRecConfig",
+    "paper_hyperparams",
+    "Trainer",
+    "TrainConfig",
+    "TrainResult",
+    "paper_train_config",
+    "Recommendation",
+    "recommend_sites",
+    "save_model",
+    "load_model",
+    "load_config",
+]

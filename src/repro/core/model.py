@@ -1,0 +1,230 @@
+"""The full O2-SiteRec model: capacity model + recommender + joint loss.
+
+``O2SiteRec`` owns the three input graphs (Eq. 1:
+``p_sa = F_theta(G_h, G_c, G_ge)``), runs the courier capacity model per
+period to produce S-U capacity edge embeddings, feeds them into the
+heterogeneous recommender, and optimises the joint objective
+``Loss = O2 + beta * O1`` (Eq. 17).
+
+All four paper ablations are configuration flags:
+
+========================  =============================================
+variant                    configuration
+========================  =============================================
+w/o Co                     ``use_capacity=False`` (also rebuilds S-U
+                           edges without the capacity-aware scope rule)
+w/o CoCu                   ``use_capacity=False, use_preferences=False``
+w/o NA                     ``node_attention=False``
+w/o SA                     ``time_attention=False``
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import SiteRecDataset
+from ..data.periods import TimePeriod
+from ..data.split import InteractionSplit
+from ..graphs import (
+    CourierMobilityMultiGraph,
+    RegionGeographicalGraph,
+    build_hetero_multigraph,
+)
+from ..nn import Module
+from ..optim import mse_loss
+from ..tensor import Tensor
+from .capacity import CourierCapacityModel
+from .recommender import HeteroRecommender
+
+
+@dataclass(frozen=True)
+class O2SiteRecConfig:
+    """Hyper-parameters (scaled-down defaults; paper values below)."""
+
+    capacity_dim: int = 12  # d1: courier mobility embedding size
+    embedding_dim: int = 40  # d2: hetero-graph embedding size
+    node_heads: int = 5  # heads in node-level aggregation
+    time_heads: int = 2  # heads in time semantics-level aggregation
+    num_layers: int = 2  # l
+    dropout: float = 0.1
+    beta: float = 0.2  # trade-off between O2 and O1 (Eq. 17)
+    use_capacity: bool = True
+    use_preferences: bool = True
+    node_attention: bool = True
+    time_attention: bool = True
+    # Implementation choices beyond the paper's text (see DESIGN.md §2);
+    # exposed as flags so their contribution can be measured.
+    product_channel: bool = True  # H_sa includes h ⊙ q
+    commercial_in_predictor: bool = True  # pair's S-A attrs at the head
+    geo_weight_mode: str = "softmax_neg_distance"
+    geo_threshold_m: float = 800.0
+    mobility_min_count: int = 2
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim % self.node_heads:
+            raise ValueError("embedding_dim must be divisible by node_heads")
+        pair_dim = (3 if self.product_channel else 2) * self.embedding_dim
+        if pair_dim % self.time_heads:
+            raise ValueError(
+                "the pair embedding width must be divisible by time_heads"
+            )
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+
+    # -- ablation constructors -------------------------------------------
+    def without_capacity(self) -> "O2SiteRecConfig":
+        return replace(self, use_capacity=False)
+
+    def without_capacity_and_preferences(self) -> "O2SiteRecConfig":
+        return replace(self, use_capacity=False, use_preferences=False)
+
+    def without_node_attention(self) -> "O2SiteRecConfig":
+        return replace(self, node_attention=False)
+
+    def without_time_attention(self) -> "O2SiteRecConfig":
+        return replace(self, time_attention=False)
+
+
+def paper_hyperparams() -> O2SiteRecConfig:
+    """The paper's Section IV-A3 settings (d1=20, d2=90, heads 5/2, ...)."""
+    return O2SiteRecConfig(capacity_dim=20, embedding_dim=90)
+
+
+class O2SiteRec(Module):
+    """End-to-end store site recommendation model."""
+
+    def __init__(
+        self,
+        dataset: SiteRecDataset,
+        split: Optional[InteractionSplit] = None,
+        config: Optional[O2SiteRecConfig] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or O2SiteRecConfig()
+        self.dataset = dataset
+
+        cfg = self.config
+        self.geo_graph = RegionGeographicalGraph.from_grid(
+            dataset.grid, threshold_m=cfg.geo_threshold_m
+        )
+        self.mobility_graph = CourierMobilityMultiGraph.from_aggregates(
+            dataset.aggregates, min_count=cfg.mobility_min_count
+        )
+        self.hetero_graph = build_hetero_multigraph(
+            dataset, split=split, capacity_aware=cfg.use_capacity
+        )
+
+        if cfg.use_capacity:
+            self.capacity_model: Optional[CourierCapacityModel] = CourierCapacityModel(
+                self.geo_graph,
+                embedding_dim=cfg.capacity_dim,
+                num_layers=cfg.num_layers,
+                geo_weight_mode=cfg.geo_weight_mode,
+            )
+            capacity_edge_dim = self.capacity_model.edge_embedding_dim
+        else:
+            self.capacity_model = None
+            capacity_edge_dim = 0
+
+        self.recommender = HeteroRecommender(
+            self.hetero_graph,
+            d2=cfg.embedding_dim,
+            node_heads=cfg.node_heads,
+            time_heads=cfg.time_heads,
+            num_layers=cfg.num_layers,
+            capacity_edge_dim=capacity_edge_dim,
+            dropout=cfg.dropout,
+            node_attention=cfg.node_attention,
+            time_attention=cfg.time_attention,
+            use_preferences=cfg.use_preferences,
+            product_channel=cfg.product_channel,
+            commercial_in_predictor=cfg.commercial_in_predictor,
+        )
+
+        self._store_index = {
+            int(r): i for i, r in enumerate(self.hetero_graph.store_regions)
+        }
+
+    # ------------------------------------------------------------------
+    def _pair_indices(self, pairs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Map (region, type) pairs to (store-node index, type) arrays."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        try:
+            s_idx = np.array([self._store_index[int(r)] for r in pairs[:, 0]])
+        except KeyError as exc:
+            raise KeyError(f"region {exc} is not a store region") from None
+        return s_idx, pairs[:, 1]
+
+    def _capacity_pass(
+        self,
+    ) -> Tuple[Optional[Dict[TimePeriod, Tensor]], Tensor]:
+        """Run the capacity model for all periods.
+
+        Returns the per-period S-U capacity edge embeddings and the summed
+        auxiliary loss O1.
+        """
+        if self.capacity_model is None:
+            return None, Tensor(0.0)
+        capacity_su: Dict[TimePeriod, Tensor] = {}
+        o1_total = None
+        for period in TimePeriod:
+            mobility = self.mobility_graph.subgraph(period)
+            b = self.capacity_model.region_embeddings(mobility)
+            subgraph = self.hetero_graph.subgraph(period)
+            capacity_su[period] = self.capacity_model.edge_embeddings(
+                b, subgraph.su_region_pairs[:, 0], subgraph.su_region_pairs[:, 1]
+            )
+            if mobility.num_edges:
+                edge_emb = self.capacity_model.edge_embeddings(
+                    b, mobility.src, mobility.dst
+                )
+                predicted = self.capacity_model.predict_delivery_time(edge_emb)
+                diff = (predicted - Tensor(mobility.delivery_time)).abs().mean()
+                o1_total = diff if o1_total is None else o1_total + diff
+        o1 = o1_total if o1_total is not None else Tensor(0.0)
+        return capacity_su, o1 * (1.0 / len(TimePeriod))
+
+    def forward(self, pairs: np.ndarray) -> Tensor:
+        """Predicted normalised order counts for (region, type) pairs."""
+        s_idx, types = self._pair_indices(pairs)
+        capacity_su, _ = self._capacity_pass()
+        return self.recommender(s_idx, types, capacity_su)
+
+    def loss(self, pairs: np.ndarray, targets: np.ndarray) -> Tuple[Tensor, float, float]:
+        """Joint loss (Eq. 17).  Returns (loss, O2 value, O1 value)."""
+        s_idx, types = self._pair_indices(pairs)
+        capacity_su, o1 = self._capacity_pass()
+        predictions = self.recommender(s_idx, types, capacity_su)
+        o2 = mse_loss(predictions, targets)
+        total = o2 + o1 * self.config.beta
+        return total, float(o2.data), float(o1.data)
+
+    def predict(self, pairs: np.ndarray) -> np.ndarray:
+        """Inference-mode predictions as a numpy array."""
+        was_training = self.training
+        self.eval()
+        try:
+            return self.forward(pairs).numpy().copy()
+        finally:
+            if was_training:
+                self.train()
+
+    def period_attention(self, pairs: np.ndarray) -> np.ndarray:
+        """Attention over periods per pair, shape ``(K, P)``.
+
+        Runs an inference pass and returns the time semantics-level
+        attention distribution (averaged over heads) -- which periods the
+        model weighs for each (region, type) pair.  Requires
+        ``time_attention=True``.
+        """
+        if not self.config.time_attention:
+            raise ValueError("period_attention requires time_attention=True")
+        self.predict(pairs)
+        weights = self.recommender.time_attention.last_weights  # (P, K, H)
+        if weights is None:  # pragma: no cover - defensive
+            raise RuntimeError("no forward pass recorded attention weights")
+        return weights.mean(axis=2).T.copy()

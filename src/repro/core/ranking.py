@@ -1,0 +1,57 @@
+"""Top-k site recommendation on top of a trained model.
+
+After training, for a given target store type the model predicts order
+counts for all candidate store-regions and returns the top-ranked regions
+(Section III-A, Problem Formulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended site."""
+
+    region: int
+    store_type: int
+    predicted_orders: float  # denormalised (expected monthly orders)
+    score: float  # normalised model output
+
+
+def recommend_sites(
+    model,
+    store_type: int,
+    candidate_regions: Sequence[int],
+    k: int = 3,
+    target_scale: float = 1.0,
+) -> List[Recommendation]:
+    """Rank ``candidate_regions`` for ``store_type`` and return the top k.
+
+    ``model`` is anything with ``predict(pairs) -> np.ndarray`` over
+    (region, type) pairs (an :class:`~repro.core.model.O2SiteRec` or a
+    baseline).  ``target_scale`` denormalises scores back to order counts.
+    """
+    candidates = np.asarray(list(candidate_regions), dtype=np.int64)
+    if len(candidates) == 0:
+        raise ValueError("candidate_regions is empty")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    pairs = np.stack(
+        [candidates, np.full(len(candidates), store_type, dtype=np.int64)], axis=1
+    )
+    scores = np.asarray(model.predict(pairs), dtype=np.float64)
+    order = np.argsort(-scores, kind="stable")[: min(k, len(candidates))]
+    return [
+        Recommendation(
+            region=int(candidates[i]),
+            store_type=int(store_type),
+            predicted_orders=float(scores[i] * target_scale),
+            score=float(scores[i]),
+        )
+        for i in order
+    ]

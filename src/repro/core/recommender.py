@@ -1,0 +1,281 @@
+"""Heterogeneous multi-graph based recommendation model (Section III-E).
+
+Five steps, mirroring Fig. 9:
+
+1. *Node attributes fusion*: ID embeddings fused with geographic features
+   (``h_s = sigma(W_S [h'_s, f_s])`` etc.).
+2. *Edge attributes fusion*: S-U edge attributes concatenated with the
+   courier capacity edge embedding from the capacity model.
+3. *Node-level aggregation* (Eqs. 7-12): store-region, customer-region and
+   store-type embeddings updated for ``l`` layers using the edge-type and
+   edge-attribute aware multi-head attention ``Aggre``.
+4. *Time semantics-level aggregation* (Eqs. 13-15): per-(s, a) embeddings
+   from each period combined with multi-head attention over periods.
+5. *Prediction* (Eq. 16): an MLP maps the fused embedding to the order
+   count; the MSE is the main loss ``O2``.
+
+Ablations: ``node_attention=False`` swaps ``Aggre`` for mean aggregation
+(w/o NA); ``time_attention=False`` averages the periods (w/o SA);
+``use_preferences=False`` drops the S-U and U-A edges (half of w/o CoCu).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.periods import TimePeriod
+from ..graphs.hetero import HeteroSubgraph, RegionTypeHeteroMultiGraph
+from ..nn import (
+    MLP,
+    Dropout,
+    Embedding,
+    Linear,
+    MeanSegmentAggregation,
+    Module,
+    ModuleList,
+    MultiHeadSegmentAttention,
+)
+from ..tensor import Tensor, concat, gather_rows, softmax, stack
+
+
+def _make_aggregator(
+    node_attention: bool,
+    query_dim: int,
+    source_dim: int,
+    edge_dim: int,
+    num_heads: int,
+    head_dim: int,
+) -> Module:
+    if node_attention:
+        return MultiHeadSegmentAttention(
+            query_dim=query_dim,
+            source_dim=source_dim,
+            edge_dim=edge_dim,
+            num_heads=num_heads,
+            head_dim=head_dim,
+        )
+    return MeanSegmentAggregation(source_dim, num_heads * head_dim)
+
+
+class _NodeLevelLayer(Module):
+    """One round of node-level aggregation over all edge types (Eqs. 7-9)."""
+
+    def __init__(
+        self,
+        d2: int,
+        su_edge_dim: int,
+        num_heads: int,
+        node_attention: bool,
+    ) -> None:
+        super().__init__()
+        if d2 % num_heads:
+            raise ValueError(f"embedding size {d2} not divisible by {num_heads} heads")
+        head_dim = d2 // num_heads
+        make = lambda src_dim, edge_dim: _make_aggregator(  # noqa: E731
+            node_attention, d2, src_dim, edge_dim, num_heads, head_dim
+        )
+        # One aggregator (and thus one W_e) per edge type/direction.
+        self.su = make(d2, su_edge_dim)  # customer-region -> store-region
+        self.sa_to_s = make(d2, 3)  # type -> store-region
+        self.ua = make(d2, 1)  # type -> customer-region
+        self.sa_to_a = make(d2, 3)  # store-region -> type
+        self.w_s = Linear(d2, d2)
+        self.w_u = Linear(d2, d2)
+        self.w_a = Linear(d2, d2)
+
+    def forward(
+        self,
+        h: Tensor,
+        z: Tensor,
+        q: Tensor,
+        graph: RegionTypeHeteroMultiGraph,
+        subgraph: HeteroSubgraph,
+        su_attr: Optional[Tensor],
+        use_preferences: bool,
+    ):
+        sa_attr = Tensor(graph.sa_attr)
+        # Store-region update (Eq. 7): customers in scope + incident types.
+        agg_s = self.sa_to_s(h, q, graph.sa_dst_a, graph.sa_src_s, sa_attr)
+        if use_preferences:
+            agg_s = agg_s + self.su(
+                h, z, subgraph.su_src_u, subgraph.su_dst_s, su_attr
+            )
+        h_new = self.w_s(agg_s + h).relu()
+
+        # Customer-region update (Eq. 8): preferred types.
+        if use_preferences:
+            agg_u = self.ua(
+                z, q, subgraph.ua_src_a, subgraph.ua_dst_u, Tensor(subgraph.ua_attr)
+            )
+            z_new = self.w_u(agg_u + z).relu()
+        else:
+            z_new = self.w_u(z).relu()
+
+        # Store-type update (Eq. 9): interacting store-regions.
+        agg_a = self.sa_to_a(q, h, graph.sa_src_s, graph.sa_dst_a, sa_attr)
+        q_new = self.w_a(agg_a + q).relu()
+        return h_new, z_new, q_new
+
+
+class _TimeSemanticsAttention(Module):
+    """Multi-head attention over periods (Eqs. 13-15).
+
+    After each forward pass, :attr:`last_weights` holds the attention
+    distribution over periods, shape ``(P, K, H)`` -- the interpretability
+    signal behind the paper's claim that "various types of stores are
+    sensitive to different periods".
+    """
+
+    def __init__(self, dim: int, num_heads: int) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by {num_heads} time heads")
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.key_proj = Linear(dim, dim, bias=False)
+        self.query_proj = Linear(dim, dim, bias=False)
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.last_weights: Optional[np.ndarray] = None
+
+    def forward(self, stacked: Tensor) -> Tensor:
+        """``stacked`` has shape (P, K, dim); returns (K, dim)."""
+        periods, k, dim = stacked.shape
+        flat = stacked.reshape(periods * k, dim)
+        keys = self.key_proj(flat).reshape(periods, k, self.num_heads, self.head_dim)
+        queries = self.query_proj(flat).reshape(
+            periods, k, self.num_heads, self.head_dim
+        )
+        scores = (keys * queries).sum(axis=3) * self.scale  # (P, K, H)
+        weights = softmax(scores, axis=0)
+        self.last_weights = weights.data.copy()
+        mixed = (keys * weights.expand_dims(3)).sum(axis=0)  # (K, H, hd)
+        return mixed.reshape(k, dim).relu()
+
+
+class HeteroRecommender(Module):
+    """The demand-side model: multi-graph propagation + order prediction."""
+
+    def __init__(
+        self,
+        graph: RegionTypeHeteroMultiGraph,
+        d2: int = 40,
+        node_heads: int = 5,
+        time_heads: int = 2,
+        num_layers: int = 2,
+        capacity_edge_dim: int = 0,
+        dropout: float = 0.1,
+        node_attention: bool = True,
+        time_attention: bool = True,
+        use_preferences: bool = True,
+        product_channel: bool = True,
+        commercial_in_predictor: bool = True,
+    ) -> None:
+        super().__init__()
+        self.graph = graph
+        self.num_layers = num_layers
+        self.use_preferences = use_preferences
+        self.time_attention_enabled = time_attention
+        feature_dim = graph.store_features.shape[1]
+
+        self.store_embedding = Embedding(graph.num_store_nodes, d2)
+        self.customer_embedding = Embedding(graph.num_customer_nodes, d2)
+        self.type_embedding = Embedding(graph.num_types, d2)
+        self.fuse_store = Linear(d2 + feature_dim, d2)  # W_S (fusion)
+        self.fuse_customer = Linear(d2 + feature_dim, d2)  # W_U (fusion)
+        self.dropout = Dropout(dropout)
+
+        su_edge_dim = 2 + capacity_edge_dim  # [distance, transactions, em^c]
+        self.layers = ModuleList(
+            _NodeLevelLayer(d2, su_edge_dim, node_heads, node_attention)
+            for _ in range(num_layers)
+        )
+        # H_sa,t = [h_s,t, q_a,t, h_s,t * q_a,t]: the elementwise product
+        # channel lets the predictor express region-x-type interactions
+        # directly (a purely additive first layer cannot fit per-pair
+        # variation; see DESIGN.md).  Both it and the commercial predictor
+        # inputs are flags so their contribution can be ablated.
+        self.product_channel = product_channel
+        self.commercial_in_predictor = commercial_in_predictor
+        pair_dim = (3 if product_channel else 2) * d2
+        self.time_attention = _TimeSemanticsAttention(pair_dim, time_heads)
+        # The predictor additionally sees the pair's own observable S-A
+        # commercial attributes (competitiveness, complementarity) -- the
+        # graph carries them on S-A edges but attention mixes them across a
+        # region's types, losing the pair-specific value.  The history-order
+        # channel is deliberately NOT fed here (for training pairs it equals
+        # the target, a pure shortcut).
+        head_in = pair_dim + (2 if commercial_in_predictor else 0)
+        self.predictor = MLP(head_in, [d2], 1, dropout=dropout)
+        self._d2 = d2
+        self._pair_commercial = self._dense_commercial(graph)
+
+        self._store_features = Tensor(graph.store_features)
+        self._customer_features = Tensor(graph.customer_features)
+
+    # ------------------------------------------------------------------
+    def _fused_nodes(self):
+        """Step 1: node attribute fusion."""
+        h0 = self.fuse_store(
+            concat([self.store_embedding(), self._store_features], axis=1)
+        ).relu()
+        z0 = self.fuse_customer(
+            concat([self.customer_embedding(), self._customer_features], axis=1)
+        ).relu()
+        q0 = self.type_embedding()
+        return self.dropout(h0), self.dropout(z0), q0
+
+    def _propagate(
+        self, period: TimePeriod, capacity_su: Optional[Tensor]
+    ):
+        """Steps 2-3 for one period: edge fusion + node-level aggregation."""
+        subgraph = self.graph.subgraph(period)
+        h, z, q = self._fused_nodes()
+        # Step 2: fuse the hand-crafted S-U edge attributes with the courier
+        # capacity edge embedding (phi' = [phi, em^c]).
+        su_attr = Tensor(subgraph.su_attr)
+        if capacity_su is not None:
+            su_attr = concat([su_attr, capacity_su], axis=1)
+        for layer in self.layers:
+            h, z, q = layer(
+                h, z, q, self.graph, subgraph, su_attr, self.use_preferences
+            )
+        return h, q
+
+    def forward(
+        self,
+        pairs_store_idx: np.ndarray,
+        pairs_type: np.ndarray,
+        capacity_su: Optional[Dict[TimePeriod, Tensor]] = None,
+    ) -> Tensor:
+        """Predict normalised order counts for (store-node, type) pairs."""
+        per_period: List[Tensor] = []
+        for period in TimePeriod:
+            cap = capacity_su.get(period) if capacity_su else None
+            h_t, q_t = self._propagate(period, cap)
+            h_pairs = gather_rows(h_t, pairs_store_idx)
+            q_pairs = gather_rows(q_t, pairs_type)
+            blocks = [h_pairs, q_pairs]
+            if self.product_channel:
+                blocks.append(h_pairs * q_pairs)
+            per_period.append(concat(blocks, axis=1))
+
+        stacked = stack(per_period, axis=0)  # (P, K, pair_dim)
+        if self.time_attention_enabled:
+            fused = self.time_attention(stacked)
+        else:
+            fused = stacked.mean(axis=0)  # w/o SA ablation
+        if self.commercial_in_predictor:
+            commercial = Tensor(
+                self._pair_commercial[pairs_store_idx, pairs_type]
+            )
+            fused = concat([fused, commercial], axis=1)
+        return self.predictor(fused).squeeze(1)
+
+    @staticmethod
+    def _dense_commercial(graph: RegionTypeHeteroMultiGraph) -> np.ndarray:
+        """Dense (nS, T, 2) competitiveness/complementarity from S-A edges."""
+        dense = np.zeros((graph.num_store_nodes, graph.num_types, 2))
+        dense[graph.sa_src_s, graph.sa_dst_a] = graph.sa_attr[:, :2]
+        return dense

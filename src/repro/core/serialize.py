@@ -1,0 +1,81 @@
+"""Model persistence: save/load O2-SiteRec weights + configuration.
+
+Weights go into a single ``.npz``; the model configuration is embedded as
+JSON so a checkpoint is self-describing.  Loading requires the *same
+dataset/split* (node sets and graph structure are data-dependent and are
+not serialised -- rebuild them from the order log, which `repro.data.io`
+persists).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..data.dataset import SiteRecDataset
+from ..data.split import InteractionSplit
+from .model import O2SiteRec, O2SiteRecConfig
+
+PathLike = Union[str, Path]
+
+_CONFIG_KEY = "__config_json__"
+_VERSION_KEY = "__format_version__"
+_FORMAT_VERSION = 1
+
+
+def save_model(model: O2SiteRec, path: PathLike) -> None:
+    """Write the model's parameters and config to ``path`` (.npz)."""
+    path = Path(path)
+    state = model.state_dict()
+    config_json = json.dumps(dataclasses.asdict(model.config))
+    np.savez(
+        path,
+        **state,
+        **{
+            _CONFIG_KEY: np.array(config_json),
+            _VERSION_KEY: np.array(_FORMAT_VERSION),
+        },
+    )
+
+
+def load_config(path: PathLike) -> O2SiteRecConfig:
+    """Read just the configuration out of a checkpoint."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if _CONFIG_KEY not in archive:
+            raise ValueError(f"{path} is not an O2-SiteRec checkpoint")
+        raw = json.loads(str(archive[_CONFIG_KEY]))
+    return O2SiteRecConfig(**raw)
+
+
+def load_model(
+    path: PathLike,
+    dataset: SiteRecDataset,
+    split: Optional[InteractionSplit] = None,
+) -> O2SiteRec:
+    """Rebuild a model on ``dataset``/``split`` and restore its weights.
+
+    The dataset and split must match the ones the checkpoint was trained
+    with (same city, same fold); otherwise parameter shapes will not line
+    up and a ``ValueError``/``KeyError`` is raised by the state loading.
+    """
+    path = Path(path)
+    config = load_config(path)
+    model = O2SiteRec(dataset, split, config)
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive[_VERSION_KEY])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format {version} not supported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        state = {
+            name: archive[name]
+            for name in archive.files
+            if name not in (_CONFIG_KEY, _VERSION_KEY)
+        }
+    model.load_state_dict(state)
+    return model

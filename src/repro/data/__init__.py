@@ -1,0 +1,54 @@
+"""Data pipeline: record schemas, aggregation, features, dataset, splits."""
+
+from .aggregates import OrderAggregates, PairStats
+from .dataset import AnalysisHandles, SiteRecDataset
+from .io import load_orders, load_stores, save_orders, save_stores
+from .features import (
+    commercial_features,
+    competitiveness,
+    complementarity,
+    cooccurrence_matrix,
+)
+from .periods import NUM_PERIODS, TimePeriod
+from .records import (
+    MINUTES_PER_DAY,
+    OrderRecord,
+    StoreRecord,
+    TrajectoryPoint,
+    minute_of,
+)
+from .split import InteractionSplit, split_interactions
+from .validation import (
+    Finding,
+    OrderLogValidationError,
+    ValidationReport,
+    validate_order_log,
+)
+
+__all__ = [
+    "TimePeriod",
+    "NUM_PERIODS",
+    "OrderRecord",
+    "StoreRecord",
+    "TrajectoryPoint",
+    "MINUTES_PER_DAY",
+    "minute_of",
+    "OrderAggregates",
+    "PairStats",
+    "SiteRecDataset",
+    "AnalysisHandles",
+    "InteractionSplit",
+    "split_interactions",
+    "competitiveness",
+    "complementarity",
+    "cooccurrence_matrix",
+    "commercial_features",
+    "save_orders",
+    "load_orders",
+    "save_stores",
+    "load_stores",
+    "validate_order_log",
+    "ValidationReport",
+    "Finding",
+    "OrderLogValidationError",
+]

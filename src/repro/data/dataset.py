@@ -1,0 +1,149 @@
+"""The central dataset object consumed by every model.
+
+:class:`SiteRecDataset` bundles the observable quantities derived from a
+simulated (or, in principle, real) month of O2O operation:
+
+* the region grid and geographic features (context data);
+* store counts and commercial features (competitiveness/complementarity);
+* order aggregates (counts by region/type/period, transactions, delivery
+  statistics);
+* the ground truth ``p_sa`` -- the normalised number of orders of each type
+  in each store region (Section IV-A2);
+* Adaption-setting features for the baselines (neighbourhood preferences and
+  region delivery times).
+
+The latent simulation internals (archetypes, true capacity ratios) are kept
+on a separate ``analysis`` handle used only for evaluation grouping
+(Fig. 14) -- never as model input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..geo import RegionGrid, region_feature_matrix
+from .aggregates import OrderAggregates
+from .features import commercial_features
+from .periods import NUM_PERIODS
+from .split import InteractionSplit, split_interactions
+
+
+@dataclass
+class AnalysisHandles:
+    """Latent simulation internals exposed for *evaluation grouping only*."""
+
+    archetype: Optional[np.ndarray] = None
+    archetype_names: Optional[tuple] = None
+
+    def regions_of(self, name: str) -> np.ndarray:
+        if self.archetype is None or self.archetype_names is None:
+            raise ValueError("no archetype information attached")
+        idx = self.archetype_names.index(name)
+        return np.flatnonzero(self.archetype == idx)
+
+
+@dataclass
+class SiteRecDataset:
+    """Observable data for one city-month."""
+
+    grid: RegionGrid
+    type_names: List[str]
+    aggregates: OrderAggregates
+    store_counts: np.ndarray  # (N, T)
+    region_features: np.ndarray  # (N, F) geographic features
+    commercial: np.ndarray  # (N, T, 2) competitiveness/complementarity
+    targets: np.ndarray  # (N, T) normalised order counts p_sa
+    target_scale: float  # max raw count (denormaliser)
+    store_regions: np.ndarray  # S node set (region ids)
+    customer_regions: np.ndarray  # U node set (region ids)
+    preference_features: np.ndarray  # (N, T) neighbourhood preferences
+    delivery_time_feature: np.ndarray  # (N,) avg delivery minutes, filled
+    analysis: AnalysisHandles = field(default_factory=AnalysisHandles)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_regions(self) -> int:
+        return self.grid.num_regions
+
+    @property
+    def num_types(self) -> int:
+        return len(self.type_names)
+
+    @property
+    def num_periods(self) -> int:
+        return NUM_PERIODS
+
+    def pair_targets(self, pairs: np.ndarray) -> np.ndarray:
+        """Normalised ground truth for ``(K, 2)`` (region, type) pairs."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        return self.targets[pairs[:, 0], pairs[:, 1]]
+
+    def split(self, seed: int = 0, train_frac: float = 0.8) -> InteractionSplit:
+        """The paper's 80/20 interaction split (stratified by type)."""
+        return split_interactions(
+            self.store_regions, self.num_types, train_frac=train_frac, seed=seed
+        )
+
+    def type_index(self, name: str) -> int:
+        try:
+            return self.type_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown store type {name!r}") from None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_simulation(cls, sim, orders=None) -> "SiteRecDataset":
+        """Build the dataset from a :class:`~repro.city.SimulationResult`.
+
+        Consumes only observable outputs: the order log, store registry and
+        public context data (POIs, roads).  ``orders`` overrides the order
+        log (e.g. a temporal slice for the rolling-origin protocol of
+        :mod:`repro.experiments.temporal`).
+        """
+        from ..city.config import ARCHETYPES  # local import avoids a cycle
+
+        land = sim.land
+        grid = land.grid
+        num_types = sim.config.num_store_types
+        store_counts = sim.store_type_counts()
+
+        aggregates = OrderAggregates.from_orders(
+            sim.orders if orders is None else orders, grid.num_regions, num_types
+        )
+
+        features = region_feature_matrix(
+            land.poi_counts, land.intersections, land.roads, store_counts
+        )
+        commercial = commercial_features(store_counts, grid)
+
+        counts = aggregates.counts_sa
+        scale = max(counts.max(), 1.0)
+        targets = counts / scale
+
+        prefs = aggregates.neighborhood_preferences(grid, radius_m=2000.0)
+        pref_peak = max(prefs.max(), 1.0)
+
+        dt = aggregates.filled_region_delivery_time(grid)
+        dt_peak = max(dt.max(), 1.0)
+
+        return cls(
+            grid=grid,
+            type_names=list(sim.config.type_names),
+            aggregates=aggregates,
+            store_counts=store_counts,
+            region_features=features,
+            commercial=commercial,
+            targets=targets,
+            target_scale=float(scale),
+            store_regions=aggregates.store_regions(store_counts),
+            customer_regions=aggregates.customer_regions(),
+            preference_features=prefs / pref_peak,
+            delivery_time_feature=dt / dt_peak,
+            analysis=AnalysisHandles(
+                archetype=land.archetype.copy(),
+                archetype_names=tuple(ARCHETYPES),
+            ),
+        )

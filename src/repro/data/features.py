@@ -1,0 +1,88 @@
+"""Commercial features of Section III-C: competitiveness and complementarity.
+
+These are attributes of the S-A edges: for a store type ``a`` in store-region
+``s``,
+
+* **competitiveness** is the count of same-type stores in the region divided
+  by the total number of nearby stores (competition pressure);
+* **complementarity** follows the paper's formula
+  ``f_sa = sum_{a*} log(rho_{a*-a}) (N_{s,a*} - N_bar_{a*})`` with
+  ``rho_{a*-a} = 2 N_set(a*, a) / (N_A (N_A - 1))``, where ``N_set`` counts
+  region co-occurrence of the type pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def competitiveness(
+    store_counts: np.ndarray, grid, radius_m: float = 1000.0
+) -> np.ndarray:
+    """``(N, T)`` competitiveness of each type in each region.
+
+    ``store_counts`` is the observable (region x type) store-count matrix.
+    "Nearby stores" are all stores in the region itself and regions within
+    ``radius_m``.
+    """
+    counts = np.asarray(store_counts, dtype=np.float64)
+    num_regions, _ = counts.shape
+    nearby_totals = np.zeros(num_regions)
+    region_totals = counts.sum(axis=1)
+    for r in range(num_regions):
+        neigh = grid.neighbors_within(r, radius_m)
+        nearby_totals[r] = region_totals[r] + region_totals[neigh].sum()
+    denom = np.maximum(nearby_totals, 1.0)
+    return counts / denom[:, None]
+
+
+def cooccurrence_matrix(store_counts: np.ndarray) -> np.ndarray:
+    """``(T, T)`` number of regions where both types are present."""
+    present = (np.asarray(store_counts) > 0).astype(np.float64)
+    return present.T @ present
+
+
+def complementarity(store_counts: np.ndarray) -> np.ndarray:
+    """``(N, T)`` complementarity features (paper formula, Section III-C).
+
+    Pairs that never co-occur are skipped (their log would be undefined);
+    the diagonal (a type with itself) is excluded.
+    """
+    counts = np.asarray(store_counts, dtype=np.float64)
+    num_regions, num_types = counts.shape
+    if num_types < 2:
+        return np.zeros_like(counts)
+
+    cooc = cooccurrence_matrix(counts)
+    mean_per_type = counts.mean(axis=0)  # N_bar_{a*}
+    rho = 2.0 * cooc / (num_types * (num_types - 1))
+
+    result = np.zeros_like(counts)
+    for a in range(num_types):
+        total = np.zeros(num_regions)
+        for a_star in range(num_types):
+            if a_star == a or cooc[a_star, a] == 0:
+                continue
+            total += np.log(rho[a_star, a]) * (
+                counts[:, a_star] - mean_per_type[a_star]
+            )
+        result[:, a] = total
+    return result
+
+
+def commercial_features(
+    store_counts: np.ndarray, grid, radius_m: float = 1000.0
+) -> np.ndarray:
+    """``(N, T, 2)`` stacked [competitiveness, complementarity] features.
+
+    Both channels are scaled to [-1, 1] by their maximum absolute value so
+    downstream fusion layers see comparable magnitudes.
+    """
+    comp = competitiveness(store_counts, grid, radius_m)
+    cmpl = complementarity(store_counts)
+
+    def _scale(m: np.ndarray) -> np.ndarray:
+        peak = np.abs(m).max()
+        return m / peak if peak > 0 else m
+
+    return np.stack([_scale(comp), _scale(cmpl)], axis=2)

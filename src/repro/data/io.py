@@ -1,0 +1,128 @@
+"""Persistence for order logs and store registries (CSV).
+
+Lets a simulated month be written once and re-used across studies, and
+gives the pipeline a real ingestion path: ``load_orders`` performs the same
+schema validation a platform export would need.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .records import OrderRecord, StoreRecord
+
+PathLike = Union[str, Path]
+
+ORDER_FIELDS = [
+    "order_id",
+    "store_id",
+    "customer_id",
+    "courier_id",
+    "store_lon",
+    "store_lat",
+    "customer_lon",
+    "customer_lat",
+    "store_region",
+    "customer_region",
+    "created_minute",
+    "accepted_minute",
+    "pickup_minute",
+    "delivered_minute",
+    "distance_m",
+    "store_type",
+]
+
+STORE_FIELDS = ["store_id", "store_type", "lon", "lat", "region"]
+
+_ORDER_INT_FIELDS = {"store_region", "customer_region", "store_type"}
+_ORDER_FLOAT_FIELDS = {
+    "store_lon",
+    "store_lat",
+    "customer_lon",
+    "customer_lat",
+    "created_minute",
+    "accepted_minute",
+    "pickup_minute",
+    "delivered_minute",
+    "distance_m",
+}
+
+
+def save_orders(orders: Iterable[OrderRecord], path: PathLike) -> int:
+    """Write orders as CSV (Table I schema).  Returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=ORDER_FIELDS)
+        writer.writeheader()
+        for o in orders:
+            writer.writerow({field: getattr(o, field) for field in ORDER_FIELDS})
+            count += 1
+    return count
+
+
+def load_orders(path: PathLike) -> List[OrderRecord]:
+    """Read orders from CSV, validating the schema and every record.
+
+    Raises ``ValueError`` on missing columns or records violating the
+    Table-I invariants (ordered timestamps, non-negative distance).
+    """
+    path = Path(path)
+    orders: List[OrderRecord] = []
+    with path.open(newline="") as f:
+        reader = csv.DictReader(f)
+        missing = set(ORDER_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"order CSV missing columns: {sorted(missing)}")
+        for line_no, row in enumerate(reader, start=2):
+            kwargs = {}
+            for field in ORDER_FIELDS:
+                value = row[field]
+                if field in _ORDER_INT_FIELDS:
+                    kwargs[field] = int(value)
+                elif field in _ORDER_FLOAT_FIELDS:
+                    kwargs[field] = float(value)
+                else:
+                    kwargs[field] = value
+            try:
+                orders.append(OrderRecord(**kwargs))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: {exc}") from None
+    return orders
+
+
+def save_stores(stores: Iterable[StoreRecord], path: PathLike) -> int:
+    """Write a store registry as CSV.  Returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=STORE_FIELDS)
+        writer.writeheader()
+        for s in stores:
+            writer.writerow({field: getattr(s, field) for field in STORE_FIELDS})
+            count += 1
+    return count
+
+
+def load_stores(path: PathLike) -> List[StoreRecord]:
+    """Read a store registry from CSV."""
+    path = Path(path)
+    stores: List[StoreRecord] = []
+    with path.open(newline="") as f:
+        reader = csv.DictReader(f)
+        missing = set(STORE_FIELDS) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"store CSV missing columns: {sorted(missing)}")
+        for row in reader:
+            stores.append(
+                StoreRecord(
+                    store_id=row["store_id"],
+                    store_type=int(row["store_type"]),
+                    lon=float(row["lon"]),
+                    lat=float(row["lat"]),
+                    region=int(row["region"]),
+                )
+            )
+    return stores

@@ -1,0 +1,71 @@
+"""Time periods.
+
+The paper analyses and models five periods of the day (Fig. 3): morning,
+noon rush hour, afternoon, evening rush hour and night.  Each subgraph of a
+multi-graph corresponds to one period.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List, Tuple
+
+
+class TimePeriod(IntEnum):
+    """The five daily periods used throughout the paper."""
+
+    MORNING = 0  # 06:00 - 10:00
+    NOON_RUSH = 1  # 10:00 - 14:00
+    AFTERNOON = 2  # 14:00 - 16:00
+    EVENING_RUSH = 3  # 16:00 - 20:00
+    NIGHT = 4  # 20:00 - 24:00
+
+    @property
+    def hours(self) -> Tuple[int, int]:
+        """Half-open hour range ``[start, end)`` covered by this period."""
+        return _HOURS[self]
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+    @property
+    def duration_hours(self) -> int:
+        start, end = self.hours
+        return end - start
+
+    @classmethod
+    def from_hour(cls, hour: int) -> "TimePeriod":
+        """Map an hour of day (0-23) to its period.
+
+        Hours outside any defined period (00:00-06:00, when the platform is
+        mostly idle) are folded into NIGHT.
+        """
+        hour = int(hour) % 24
+        for period, (start, end) in _HOURS.items():
+            if start <= hour < end:
+                return period
+        return cls.NIGHT
+
+    @classmethod
+    def all(cls) -> List["TimePeriod"]:
+        return list(cls)
+
+
+_HOURS = {
+    TimePeriod.MORNING: (6, 10),
+    TimePeriod.NOON_RUSH: (10, 14),
+    TimePeriod.AFTERNOON: (14, 16),
+    TimePeriod.EVENING_RUSH: (16, 20),
+    TimePeriod.NIGHT: (20, 24),
+}
+
+_LABELS = {
+    TimePeriod.MORNING: "morning",
+    TimePeriod.NOON_RUSH: "noon rush",
+    TimePeriod.AFTERNOON: "afternoon",
+    TimePeriod.EVENING_RUSH: "evening rush",
+    TimePeriod.NIGHT: "night",
+}
+
+NUM_PERIODS = len(TimePeriod)

@@ -1,0 +1,107 @@
+"""Raw record schemas mirroring Table I of the paper.
+
+The simulator emits these records and the learning pipeline consumes *only*
+them (plus public context data), exactly as the paper's pipeline consumes
+the platform's accounting records.  All timestamps are minutes since the
+start of the observation month; helpers convert to day / hour / period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .periods import TimePeriod
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """A store registered on the platform."""
+
+    store_id: str
+    store_type: int
+    lon: float
+    lat: float
+    region: int
+
+
+@dataclass(frozen=True)
+class OrderRecord:
+    """One delivery order (the fields of Table I).
+
+    Spatial: store and customer coordinates plus their (coarse, privacy-
+    preserving) region ids.  Temporal: creation, acceptance, pickup-report
+    and delivery-report times in minutes since month start.  Context: ids,
+    customer-store distance in metres, and the store type.
+    """
+
+    order_id: str
+    store_id: str
+    customer_id: str
+    courier_id: str
+    store_lon: float
+    store_lat: float
+    customer_lon: float
+    customer_lat: float
+    store_region: int
+    customer_region: int
+    created_minute: float
+    accepted_minute: float
+    pickup_minute: float
+    delivered_minute: float
+    distance_m: float
+    store_type: int
+
+    def __post_init__(self) -> None:
+        if not (
+            self.created_minute
+            <= self.accepted_minute
+            <= self.pickup_minute
+            <= self.delivered_minute
+        ):
+            raise ValueError(
+                f"order {self.order_id}: timestamps must be non-decreasing"
+            )
+        if self.distance_m < 0:
+            raise ValueError(f"order {self.order_id}: negative distance")
+
+    @property
+    def day(self) -> int:
+        return int(self.created_minute // MINUTES_PER_DAY)
+
+    @property
+    def hour(self) -> int:
+        return int((self.created_minute % MINUTES_PER_DAY) // 60)
+
+    @property
+    def period(self) -> TimePeriod:
+        return TimePeriod.from_hour(self.hour)
+
+    @property
+    def delivery_minutes(self) -> float:
+        """Courier delivery time: pickup report to delivery report."""
+        return self.delivered_minute - self.pickup_minute
+
+    @property
+    def total_minutes(self) -> float:
+        """Customer-perceived waiting time: creation to delivery."""
+        return self.delivered_minute - self.created_minute
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """A courier GPS upload (couriers' trajectory data, Section II-A)."""
+
+    courier_id: str
+    minute: float
+    lon: float
+    lat: float
+
+
+def minute_of(day: int, hour: int, minute: float = 0.0) -> float:
+    """Absolute minute for ``day`` (0-based), ``hour`` and ``minute``."""
+    if day < 0 or not 0 <= hour < 24 or not 0 <= minute < 60:
+        raise ValueError(f"invalid timestamp components ({day}, {hour}, {minute})")
+    return day * MINUTES_PER_DAY + hour * 60 + minute

@@ -1,0 +1,83 @@
+"""Train/test splitting of (store-region, store-type) interactions.
+
+The paper randomly selects 80% of historical interactions between
+store-region and store-type as training data and evaluates on the remaining
+20% (Section IV-A2).  We stratify by store type so every type has candidate
+regions in the test set (the ranking metrics are computed per type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InteractionSplit:
+    """An 80/20 split of (region, type) pairs.
+
+    ``train_pairs`` and ``test_pairs`` have shape ``(K, 2)`` with columns
+    (region id, type id).
+    """
+
+    train_pairs: np.ndarray
+    test_pairs: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("train_pairs", "test_pairs"):
+            pairs = getattr(self, name)
+            if pairs.ndim != 2 or pairs.shape[1] != 2:
+                raise ValueError(f"{name} must have shape (K, 2)")
+        train = {tuple(p) for p in self.train_pairs}
+        test = {tuple(p) for p in self.test_pairs}
+        if train & test:
+            raise ValueError("train and test pairs overlap")
+
+    def test_regions_for_type(self, store_type: int) -> np.ndarray:
+        """Candidate regions of ``store_type`` in the test fold."""
+        mask = self.test_pairs[:, 1] == store_type
+        return self.test_pairs[mask, 0]
+
+    def train_regions_for_type(self, store_type: int) -> np.ndarray:
+        mask = self.train_pairs[:, 1] == store_type
+        return self.train_pairs[mask, 0]
+
+    @property
+    def num_types(self) -> int:
+        pairs = np.concatenate([self.train_pairs, self.test_pairs])
+        return int(pairs[:, 1].max()) + 1 if len(pairs) else 0
+
+
+def split_interactions(
+    store_regions: np.ndarray,
+    num_types: int,
+    train_frac: float = 0.8,
+    seed: int = 0,
+) -> InteractionSplit:
+    """Stratified random split: per type, ``train_frac`` of store regions.
+
+    Every type keeps at least one test region (and at least one training
+    region) so both folds stay usable for small cities.
+    """
+    if not 0.0 < train_frac < 1.0:
+        raise ValueError("train_frac must be in (0, 1)")
+    regions = np.asarray(store_regions, dtype=np.int64)
+    if len(regions) < 2:
+        raise ValueError("need at least two store regions to split")
+    rng = np.random.default_rng(seed)
+    train_rows = []
+    test_rows = []
+    for a in range(num_types):
+        order = rng.permutation(regions)
+        cut = int(round(train_frac * len(order)))
+        cut = min(max(cut, 1), len(order) - 1)
+        for r in order[:cut]:
+            train_rows.append((int(r), a))
+        for r in order[cut:]:
+            test_rows.append((int(r), a))
+    return InteractionSplit(
+        train_pairs=np.array(train_rows, dtype=np.int64),
+        test_pairs=np.array(test_rows, dtype=np.int64),
+    )

@@ -1,0 +1,174 @@
+"""Order-log linting: consistency checks before building a dataset.
+
+Real platform exports are messy; these checks catch the problems that
+silently corrupt the pipeline (regions out of range, stores missing from
+the registry, timestamps outside the observation window, impossible courier
+speeds).  ``validate_order_log`` returns a structured report; ``strict=True``
+raises on the first error-level finding.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .records import MINUTES_PER_DAY, OrderRecord, StoreRecord
+
+# Anything faster than this from pickup to delivery is physically suspect
+# (an e-bike courier, metres per minute).
+MAX_PLAUSIBLE_SPEED_M_PER_MIN = 700.0
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    level: str  # "error" | "warning"
+    check: str
+    message: str
+    order_id: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f" (order {self.order_id})" if self.order_id else ""
+        return f"[{self.level}] {self.check}: {self.message}{suffix}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings plus summary counters."""
+
+    findings: List[Finding] = field(default_factory=list)
+    orders_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.level == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.level == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        return (
+            f"{self.orders_checked} orders checked: "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings"
+        )
+
+
+class OrderLogValidationError(ValueError):
+    """Raised in strict mode on the first error-level finding."""
+
+
+def validate_order_log(
+    orders: Iterable[OrderRecord],
+    num_regions: int,
+    num_types: int,
+    num_days: Optional[int] = None,
+    stores: Optional[Sequence[StoreRecord]] = None,
+    strict: bool = False,
+    max_findings: int = 100,
+) -> ValidationReport:
+    """Lint an order log against the city's static facts.
+
+    Checks: region/type ranges, observation-window bounds, courier speed
+    plausibility, store-registry consistency (id exists, region matches,
+    type matches), duplicate order ids.  Collection stops after
+    ``max_findings`` findings (the report notes truncation via a warning).
+    """
+    report = ValidationReport()
+    registry = {s.store_id: s for s in stores} if stores is not None else None
+    seen_ids: Counter = Counter()
+
+    def add(level: str, check: str, message: str, order_id=None) -> None:
+        if len(report.findings) >= max_findings:
+            return
+        finding = Finding(level=level, check=check, message=message, order_id=order_id)
+        report.findings.append(finding)
+        if strict and level == "error":
+            raise OrderLogValidationError(str(finding))
+
+    # Orders created before midnight of the last day may legitimately be
+    # delivered shortly after the window closes.
+    delivery_grace = 6 * 60.0
+    horizon = num_days * MINUTES_PER_DAY if num_days is not None else None
+    for o in orders:
+        report.orders_checked += 1
+        seen_ids[o.order_id] += 1
+
+        if not 0 <= o.store_region < num_regions:
+            add("error", "region_range", f"store region {o.store_region}", o.order_id)
+        if not 0 <= o.customer_region < num_regions:
+            add(
+                "error",
+                "region_range",
+                f"customer region {o.customer_region}",
+                o.order_id,
+            )
+        if not 0 <= o.store_type < num_types:
+            add("error", "type_range", f"store type {o.store_type}", o.order_id)
+
+        if o.created_minute < 0 or (
+            horizon is not None
+            and (
+                o.created_minute >= horizon
+                or o.delivered_minute > horizon + delivery_grace
+            )
+        ):
+            add(
+                "error",
+                "window",
+                f"timestamps outside the {num_days}-day window",
+                o.order_id,
+            )
+
+        if o.delivery_minutes > 0:
+            speed = o.distance_m / o.delivery_minutes
+            if speed > MAX_PLAUSIBLE_SPEED_M_PER_MIN:
+                add(
+                    "warning",
+                    "speed",
+                    f"implied courier speed {speed:.0f} m/min",
+                    o.order_id,
+                )
+
+        if registry is not None:
+            store = registry.get(o.store_id)
+            if store is None:
+                add("error", "registry", f"unknown store {o.store_id}", o.order_id)
+            else:
+                if store.region != o.store_region:
+                    add(
+                        "error",
+                        "registry",
+                        f"store {o.store_id} region mismatch "
+                        f"({o.store_region} vs registry {store.region})",
+                        o.order_id,
+                    )
+                if store.store_type != o.store_type:
+                    add(
+                        "error",
+                        "registry",
+                        f"store {o.store_id} type mismatch",
+                        o.order_id,
+                    )
+
+    duplicates = [oid for oid, count in seen_ids.items() if count > 1]
+    for oid in duplicates[:10]:
+        add("error", "duplicate_id", f"order id appears {seen_ids[oid]} times", oid)
+
+    if len(report.findings) >= max_findings:
+        report.findings.append(
+            Finding(
+                level="warning",
+                check="truncated",
+                message=f"finding collection stopped at {max_findings}",
+            )
+        )
+    return report

@@ -1,0 +1,88 @@
+"""Experiment harness: every table and figure of the paper's evaluation."""
+
+from ..metrics import evaluate_model  # convenience re-export for harness users
+from .ablation import VARIANTS, run_ablation, variant_config
+from .factors import (
+    COMPARED_BASELINES,
+    FOCUS_TYPES,
+    GEOGRAPHY_GROUPS,
+    geography_results,
+    per_type_results,
+)
+from .harness import (
+    BASELINE_ORDER,
+    BEST_BASELINE,
+    ComparisonTable,
+    HarnessConfig,
+    build_dataset,
+    compare_models,
+    quick_harness,
+    train_baseline,
+    train_o2siterec,
+)
+from .motivation import (
+    courier_utilisation_by_period,
+    delivery_scope_by_period,
+    delivery_time_distribution,
+    delivery_time_vs_ratio,
+    order_distance_distribution,
+    preference_order_correlation,
+    supply_demand_by_bin,
+    top_store_types_by_period,
+)
+from .report import build_report, report_status, write_report
+from .registry import EXPERIMENTS, Experiment
+from .sensitivity import beta_sweep, embedding_size_sweep
+from .temporal import (
+    TemporalConfig,
+    TemporalDatasets,
+    build_temporal_datasets,
+    run_temporal_evaluation,
+)
+from .tuning import TrialResult, grid_search
+from .tables import format_bar_groups, format_comparison_table, format_series
+
+__all__ = [
+    "evaluate_model",
+    "HarnessConfig",
+    "quick_harness",
+    "build_dataset",
+    "train_o2siterec",
+    "train_baseline",
+    "compare_models",
+    "ComparisonTable",
+    "BASELINE_ORDER",
+    "BEST_BASELINE",
+    "run_ablation",
+    "variant_config",
+    "VARIANTS",
+    "per_type_results",
+    "geography_results",
+    "FOCUS_TYPES",
+    "COMPARED_BASELINES",
+    "GEOGRAPHY_GROUPS",
+    "embedding_size_sweep",
+    "beta_sweep",
+    "grid_search",
+    "TrialResult",
+    "TemporalConfig",
+    "TemporalDatasets",
+    "build_temporal_datasets",
+    "run_temporal_evaluation",
+    "supply_demand_by_bin",
+    "delivery_time_vs_ratio",
+    "order_distance_distribution",
+    "courier_utilisation_by_period",
+    "build_report",
+    "report_status",
+    "write_report",
+    "delivery_scope_by_period",
+    "delivery_time_distribution",
+    "top_store_types_by_period",
+    "preference_order_correlation",
+    "format_comparison_table",
+    "format_series",
+    "format_bar_groups",
+    "EXPERIMENTS",
+    "Experiment",
+]

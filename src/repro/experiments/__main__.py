@@ -1,0 +1,248 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table/figure without touching pytest:
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig1 fig5 table2
+    python -m repro.experiments table3 --scale 0.55 --rounds 2 --epochs 45
+
+Each experiment prints the paper-shaped rows/series to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from ..city import real_world_dataset
+from ..data import TimePeriod
+from . import (
+    HarnessConfig,
+    beta_sweep,
+    compare_models,
+    delivery_scope_by_period,
+    delivery_time_distribution,
+    delivery_time_vs_ratio,
+    embedding_size_sweep,
+    format_bar_groups,
+    format_comparison_table,
+    format_series,
+    geography_results,
+    per_type_results,
+    preference_order_correlation,
+    run_ablation,
+    supply_demand_by_bin,
+    top_store_types_by_period,
+)
+from .registry import EXPERIMENTS
+
+
+def _motivation_city(args):
+    return real_world_dataset(seed=7, scale=max(args.scale, 0.7))
+
+
+def _harness(args) -> HarnessConfig:
+    return HarnessConfig(
+        rounds=args.rounds,
+        scale=args.scale,
+        epochs=args.epochs,
+        patience=max(args.epochs // 4, 5),
+    )
+
+
+def _run_fig1(args) -> str:
+    data = supply_demand_by_bin(_motivation_city(args))
+    return format_series(
+        "Fig. 1 -- Orders, couriers and supply-demand ratio",
+        "hour",
+        data["hours"].tolist(),
+        {k: data[k] for k in ("orders", "couriers", "ratio")},
+    )
+
+
+def _run_fig2(args) -> str:
+    data = delivery_time_vs_ratio(_motivation_city(args))
+    return format_series(
+        f"Fig. 2 -- Delivery time vs ratio (corr {float(data['correlation']):.3f})",
+        "hour",
+        data["hours"].tolist(),
+        {"ratio": data["ratio"], "delivery_min": data["delivery_minutes"]},
+    )
+
+
+def _run_fig3(args) -> str:
+    data = delivery_scope_by_period(_motivation_city(args))
+    return format_series(
+        "Fig. 3 -- Average delivery scope per period (m)",
+        "period",
+        data["periods"].tolist(),
+        {"scope_m": data["scope_m"]},
+        fmt="{:.0f}",
+    )
+
+
+def _run_fig4(args) -> str:
+    data = delivery_time_distribution(_motivation_city(args))
+    rows = {
+        str(p): data["histogram"][i] for i, p in enumerate(data["periods"])
+    }
+    labels = [f"bin{i}" for i in range(data["histogram"].shape[1])]
+    return format_series(
+        "Fig. 4 -- Delivery-time histogram at 2.5-3 km", "bin", labels, rows,
+        fmt="{:.0f}",
+    )
+
+
+def _run_fig5(args) -> str:
+    top = top_store_types_by_period(_motivation_city(args), k=3)
+    lines = ["Fig. 5 -- Top store types per period"]
+    for period in TimePeriod:
+        entries = ", ".join(f"{n} ({c})" for n, c in top[period])
+        lines.append(f"  {period.label:13s} {entries}")
+    return "\n".join(lines)
+
+
+def _run_table2(args) -> str:
+    table = preference_order_correlation(_motivation_city(args))
+    radii = sorted(table)
+    return format_series(
+        "Table II -- Preference-order correlation",
+        "radius_km",
+        [int(r) for r in radii],
+        {"correlation": [table[r] for r in radii]},
+    )
+
+
+def _run_table3(args) -> str:
+    table = compare_models("real", config=_harness(args))
+    return format_comparison_table(table, title="Table III (real-world stand-in)")
+
+
+def _run_table4(args) -> str:
+    table = compare_models(
+        "sim",
+        config=_harness(args),
+        settings=("adaption",),
+        metrics=("NDCG@3", "NDCG@5", "Precision@3", "Precision@5"),
+    )
+    return format_comparison_table(
+        table,
+        title="Table IV (simulation stand-in)",
+        metrics=("NDCG@3", "NDCG@5", "Precision@3", "Precision@5"),
+    )
+
+
+def _run_fig10(args) -> str:
+    variants = ("O2-SiteRec", "w/o Co", "w/o CoCu")
+    results = run_ablation(variants, config=_harness(args))
+    metrics = ("NDCG@3", "Precision@3")
+    return format_bar_groups(
+        "Fig. 10 -- Capacity/preference ablation",
+        metrics,
+        {v: [results[v].mean(m) for m in metrics] for v in variants},
+    )
+
+
+def _run_fig11(args) -> str:
+    variants = ("O2-SiteRec", "w/o NA", "w/o SA")
+    results = run_ablation(variants, config=_harness(args))
+    metrics = ("NDCG@3", "Precision@3")
+    return format_bar_groups(
+        "Fig. 11 -- Attention ablation",
+        metrics,
+        {v: [results[v].mean(m) for m in metrics] for v in variants},
+    )
+
+
+def _run_fig12_13(args) -> str:
+    results = per_type_results(config=_harness(args))
+    types = sorted(next(iter(results.values())))
+    return format_bar_groups(
+        "Figs. 12/13 -- NDCG@3 by store type",
+        types,
+        {m: [v.get(t, float("nan")) for t in types] for m, v in results.items()},
+    )
+
+
+def _run_fig14(args) -> str:
+    results = geography_results(config=_harness(args))
+    groups = list(results)
+    return format_bar_groups(
+        "Fig. 14 -- NDCG@3 by geography",
+        groups,
+        {"O2-SiteRec": [results[g] for g in groups]},
+    )
+
+
+def _run_fig15(args) -> str:
+    results = embedding_size_sweep(config=_harness(args))
+    sizes = sorted(results)
+    return format_series(
+        "Fig. 15 -- NDCG@3 vs embedding size",
+        "d2",
+        sizes,
+        {"NDCG@3": [results[s] for s in sizes]},
+    )
+
+
+def _run_fig16(args) -> str:
+    results = beta_sweep(config=_harness(args))
+    betas = sorted(results)
+    return format_series(
+        "Fig. 16 -- NDCG@3 vs beta",
+        "beta",
+        betas,
+        {"NDCG@3": [results[b] for b in betas]},
+    )
+
+
+RUNNERS: Dict[str, Callable] = {
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12_13": _run_fig12_13,
+    "fig14": _run_fig14,
+    "fig15": _run_fig15,
+    "fig16": _run_fig16,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (see --list)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--scale", type=float, default=0.55, help="city scale")
+    parser.add_argument("--rounds", type=int, default=1, help="experiment rounds")
+    parser.add_argument("--epochs", type=int, default=45, help="training epochs")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        for exp_id, exp in EXPERIMENTS.items():
+            print(f"{exp_id:10s} {exp.description}")
+        return 0
+    unknown = [e for e in args.experiments if e not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+    for exp_id in args.experiments:
+        print(RUNNERS[exp_id](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

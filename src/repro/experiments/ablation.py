@@ -1,0 +1,69 @@
+"""Ablation studies (RQ2 & RQ3): Figs. 10 and 11.
+
+Four variants against the full model:
+
+* **w/o Co**   -- no courier capacity model, S-U edges built without the
+  capacity-aware scope rule (Fig. 10);
+* **w/o CoCu** -- additionally drops the S-U and U-A edges, removing
+  customer preferences (Fig. 10);
+* **w/o NA**   -- mean aggregation instead of the node-level attention
+  (Fig. 11);
+* **w/o SA**   -- mean over periods instead of the time semantics-level
+  attention (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core import O2SiteRecConfig
+from ..metrics import EvaluationResult, MultiRoundResult, evaluate_model
+from .harness import HarnessConfig, build_dataset, train_o2siterec
+
+VARIANTS = ("O2-SiteRec", "w/o Co", "w/o CoCu", "w/o NA", "w/o SA")
+
+
+def variant_config(base: O2SiteRecConfig, variant: str) -> O2SiteRecConfig:
+    """The model configuration implementing a named ablation."""
+    if variant == "O2-SiteRec":
+        return base
+    if variant == "w/o Co":
+        return base.without_capacity()
+    if variant == "w/o CoCu":
+        return base.without_capacity_and_preferences()
+    if variant == "w/o NA":
+        return base.without_node_attention()
+    if variant == "w/o SA":
+        return base.without_time_attention()
+    raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
+
+
+def run_ablation(
+    variants: Sequence[str] = VARIANTS,
+    config: Optional[HarnessConfig] = None,
+    kind: str = "real",
+    verbose: bool = False,
+) -> Dict[str, MultiRoundResult]:
+    """Train and evaluate the requested variants over all rounds."""
+    config = config or HarnessConfig()
+    results: Dict[str, list] = {v: [] for v in variants}
+    for r in range(config.rounds):
+        seed = config.base_seed + r
+        dataset, split = build_dataset(kind, seed, config.scale)
+        for variant in variants:
+            model = train_o2siterec(
+                dataset,
+                split,
+                config,
+                model_config=variant_config(config.model_config, variant),
+                seed=seed,
+                init_tag="ablation",  # paired inits across variants
+            )
+            result = evaluate_model(model, dataset, split, top_n=config.top_n, top_n_frac=config.top_n_frac)
+            results[variant].append(result)
+            if verbose:
+                print(
+                    f"round {r} {variant}: NDCG@3={result['NDCG@3']:.4f} "
+                    f"Precision@3={result['Precision@3']:.4f}"
+                )
+    return {v: MultiRoundResult(rows) for v, rows in results.items()}

@@ -1,0 +1,128 @@
+"""Impact-of-factors experiments (RQ4): Figs. 12, 13 and 14.
+
+* Figs. 12/13: per-store-type results for the six highlighted types (light
+  meal, light salad, fruit, steamed buns, juice, fried chicken) comparing
+  O2-SiteRec against HGT and GraphRec.
+* Fig. 14: performance over region subsets by geographic distribution --
+  downtown, suburb and average (all regions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..metrics import evaluate_model
+from .harness import HarnessConfig, build_dataset, train_baseline, train_o2siterec
+
+FOCUS_TYPES = (
+    "light_meal",
+    "light_salad",
+    "fruit",
+    "steamed_buns",
+    "juice",
+    "fried_chicken",
+)
+
+COMPARED_BASELINES = ("HGT", "GraphRec")  # the two shown in Fig. 12/13
+
+GEOGRAPHY_GROUPS = ("downtown", "suburb", "average")
+
+
+def per_type_results(
+    config: Optional[HarnessConfig] = None,
+    kind: str = "real",
+    focus_types: Sequence[str] = FOCUS_TYPES,
+    metric: str = "NDCG@3",
+) -> Dict[str, Dict[str, float]]:
+    """Figs. 12/13: ``{model: {type_name: metric}}`` averaged over rounds."""
+    config = config or HarnessConfig()
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, Dict[str, int]] = {}
+
+    for r in range(config.rounds):
+        seed = config.base_seed + r
+        dataset, split = build_dataset(kind, seed, config.scale)
+        type_ids = [dataset.type_index(name) for name in focus_types]
+
+        models = {"O2-SiteRec": train_o2siterec(dataset, split, config, seed=seed)}
+        for name in COMPARED_BASELINES:
+            models[name] = train_baseline(
+                name, "adaption", dataset, split, config, seed
+            )
+
+        for model_name, model in models.items():
+            result = evaluate_model(
+                model, dataset, split, top_n=config.top_n, top_n_frac=config.top_n_frac, types=type_ids
+            )
+            for a, row in result.per_type.items():
+                type_name = dataset.type_names[a]
+                sums.setdefault(model_name, {}).setdefault(type_name, 0.0)
+                counts.setdefault(model_name, {}).setdefault(type_name, 0)
+                sums[model_name][type_name] += row[metric]
+                counts[model_name][type_name] += 1
+
+    return {
+        model_name: {
+            t: sums[model_name][t] / counts[model_name][t]
+            for t in sums[model_name]
+        }
+        for model_name in sums
+    }
+
+
+def geography_results(
+    config: Optional[HarnessConfig] = None,
+    kind: str = "real",
+    metric: str = "NDCG@3",
+) -> Dict[str, float]:
+    """Fig. 14: O2-SiteRec performance per geographic distribution.
+
+    "downtown" pools the downtown and office archetypes; "suburb" is the
+    suburb archetype; "average" is all regions.  Grouping uses the
+    simulator's latent archetypes -- evaluation-side knowledge only, exactly
+    like the paper's region labels.
+    """
+    config = config or HarnessConfig()
+    sums = {g: 0.0 for g in GEOGRAPHY_GROUPS}
+    counts = {g: 0 for g in GEOGRAPHY_GROUPS}
+
+    for r in range(config.rounds):
+        seed = config.base_seed + r
+        dataset, split = build_dataset(kind, seed, config.scale)
+        model = train_o2siterec(dataset, split, config, seed=seed)
+
+        downtown = np.concatenate(
+            [
+                dataset.analysis.regions_of("downtown"),
+                dataset.analysis.regions_of("office"),
+            ]
+        )
+        suburb = dataset.analysis.regions_of("suburb")
+        filters = {"downtown": downtown, "suburb": suburb, "average": None}
+
+        for group, regions in filters.items():
+            try:
+                result = evaluate_model(
+                    model,
+                    dataset,
+                    split,
+                    top_n=config.top_n,
+                    top_n_frac=config.top_n_frac,
+                    regions_filter=regions,
+                    # Degenerate pools rank trivially and would flatter the
+                    # sparse suburbs: require a real pool with at least two
+                    # active candidates to order.
+                    min_candidates=5,
+                    min_positive=2,
+                )
+            except ValueError:
+                continue  # too few candidates in this subset this round
+            sums[group] += result[metric]
+            counts[group] += 1
+
+    return {
+        g: (sums[g] / counts[g]) if counts[g] else float("nan")
+        for g in GEOGRAPHY_GROUPS
+    }

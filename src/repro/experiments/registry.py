@@ -1,0 +1,112 @@
+"""Index of every table and figure reproduced from the paper.
+
+Maps each experiment id to a short description and the bench target that
+regenerates it -- the machine-readable companion of DESIGN.md's
+per-experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One paper table/figure and where its reproduction lives."""
+
+    experiment_id: str
+    description: str
+    bench: str
+    modules: Tuple[str, ...]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.experiment_id: e
+    for e in (
+        Experiment(
+            "fig1",
+            "Orders, couriers and supply-demand ratio per 2h bin",
+            "benchmarks/bench_fig01_supply_demand.py",
+            ("repro.experiments.motivation", "repro.city"),
+        ),
+        Experiment(
+            "fig2",
+            "Delivery time vs supply-demand ratio",
+            "benchmarks/bench_fig02_delivery_time.py",
+            ("repro.experiments.motivation",),
+        ),
+        Experiment(
+            "fig3",
+            "Average delivery scope per period",
+            "benchmarks/bench_fig03_delivery_scope.py",
+            ("repro.experiments.motivation", "repro.city.couriers"),
+        ),
+        Experiment(
+            "fig4",
+            "Delivery-time distribution at 2.5-3 km per period",
+            "benchmarks/bench_fig04_time_distribution.py",
+            ("repro.experiments.motivation",),
+        ),
+        Experiment(
+            "fig5",
+            "Top-3 popular store types per period",
+            "benchmarks/bench_fig05_top_types.py",
+            ("repro.experiments.motivation",),
+        ),
+        Experiment(
+            "table2",
+            "Preference-order correlation at radius 1-5 km",
+            "benchmarks/bench_table02_preference_correlation.py",
+            ("repro.experiments.motivation",),
+        ),
+        Experiment(
+            "table3",
+            "Main comparison on real-world data",
+            "benchmarks/bench_table03_main_real.py",
+            ("repro.experiments.harness", "repro.core", "repro.baselines"),
+        ),
+        Experiment(
+            "table4",
+            "Main comparison on simulation data",
+            "benchmarks/bench_table04_main_sim.py",
+            ("repro.experiments.harness",),
+        ),
+        Experiment(
+            "fig10",
+            "Ablation: courier capacity and customer preferences",
+            "benchmarks/bench_fig10_ablation_capacity.py",
+            ("repro.experiments.ablation",),
+        ),
+        Experiment(
+            "fig11",
+            "Ablation: node-level and time semantics-level attention",
+            "benchmarks/bench_fig11_ablation_attention.py",
+            ("repro.experiments.ablation",),
+        ),
+        Experiment(
+            "fig12_13",
+            "Per-store-type results (six highlighted types)",
+            "benchmarks/bench_fig12_13_store_types.py",
+            ("repro.experiments.factors",),
+        ),
+        Experiment(
+            "fig14",
+            "Geographic distribution: downtown / suburb / average",
+            "benchmarks/bench_fig14_geography.py",
+            ("repro.experiments.factors",),
+        ),
+        Experiment(
+            "fig15",
+            "Embedding-size sensitivity",
+            "benchmarks/bench_fig15_embedding_size.py",
+            ("repro.experiments.sensitivity",),
+        ),
+        Experiment(
+            "fig16",
+            "Beta sensitivity",
+            "benchmarks/bench_fig16_beta.py",
+            ("repro.experiments.sensitivity",),
+        ),
+    )
+}

@@ -1,0 +1,104 @@
+"""Assemble the bench outputs into a single reproduction report.
+
+Every bench writes its paper-shaped table to ``benchmarks/results/<id>.txt``;
+this module stitches them into one markdown document (the machine-generated
+companion to the hand-written EXPERIMENTS.md).
+
+    python -c "from repro.experiments.report import write_report; write_report()"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .registry import EXPERIMENTS
+
+# Rendering order: motivation, main tables, ablations, factors, sensitivity.
+SECTION_ORDER: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("Motivation (Section II)", ("fig01", "fig02", "fig03", "fig04", "fig05", "table02")),
+    ("Main comparison (Section IV-B)", ("table03", "table04")),
+    ("Ablations (Section IV-C)", ("fig10", "fig11")),
+    ("Impact of factors (Section IV-D)", ("fig12_13", "fig14")),
+    ("Sensitivity (Section IV-E)", ("fig15", "fig16")),
+    ("Beyond the paper", ("design_ablation", "temporal")),
+)
+
+
+@dataclass
+class ReportStatus:
+    """What the assembler found on disk."""
+
+    present: List[str]
+    missing: List[str]
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+def collect_results(results_dir: Path) -> Dict[str, str]:
+    """Read every result block present under ``results_dir``."""
+    results: Dict[str, str] = {}
+    if not results_dir.is_dir():
+        return results
+    for path in sorted(results_dir.glob("*.txt")):
+        results[path.stem] = path.read_text().rstrip()
+    return results
+
+
+def report_status(results_dir: Path) -> ReportStatus:
+    """Which expected result blocks exist / are missing."""
+    expected = [rid for _, ids in SECTION_ORDER for rid in ids]
+    present = collect_results(results_dir)
+    return ReportStatus(
+        present=[rid for rid in expected if rid in present],
+        missing=[rid for rid in expected if rid not in present],
+    )
+
+
+def build_report(results_dir: Path) -> str:
+    """Render the markdown report from whatever results exist."""
+    results = collect_results(results_dir)
+    lines = [
+        "# Reproduction report (auto-generated)",
+        "",
+        "Assembled from `benchmarks/results/` — regenerate any block with",
+        "`pytest benchmarks/<bench file> --benchmark-only` or the CLI",
+        "`python -m repro.experiments <id>`. Paper-vs-measured commentary:",
+        "`EXPERIMENTS.md`.",
+        "",
+    ]
+    for section, ids in SECTION_ORDER:
+        blocks = [(rid, results[rid]) for rid in ids if rid in results]
+        if not blocks:
+            continue
+        lines.append(f"## {section}")
+        lines.append("")
+        for rid, text in blocks:
+            lines.append("```")
+            lines.append(text)
+            lines.append("```")
+            lines.append("")
+    status = report_status(results_dir)
+    if status.missing:
+        lines.append(
+            "_Missing blocks (bench not yet run): " + ", ".join(status.missing) + "_"
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: Optional[Path] = None, output: Optional[Path] = None
+) -> Path:
+    """Write REPORT.md next to the results directory.  Returns the path."""
+    if results_dir is None:
+        results_dir = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    results_dir = Path(results_dir)
+    if output is None:
+        output = results_dir.parent.parent / "REPORT.md"
+    output = Path(output)
+    output.write_text(build_report(results_dir))
+    return output

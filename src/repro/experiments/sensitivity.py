@@ -1,0 +1,66 @@
+"""Hyper-parameter sensitivity (RQ5): Figs. 15 and 16.
+
+* Fig. 15: NDCG@3 as a function of the hetero-graph embedding size d2.
+* Fig. 16: NDCG@3 as a function of the loss trade-off beta.
+
+The paper sweeps d2 in {30..150} (best 90) and beta in {0..1} (best 0.2);
+the scaled-down city uses proportionally smaller embedding sizes by
+default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..metrics import evaluate_model
+from .harness import HarnessConfig, build_dataset, train_o2siterec
+
+DEFAULT_EMBEDDING_SIZES = (10, 20, 40, 60, 80)
+DEFAULT_BETAS = (0.0, 0.1, 0.2, 0.5, 1.0)
+
+
+def embedding_size_sweep(
+    sizes: Sequence[int] = DEFAULT_EMBEDDING_SIZES,
+    config: Optional[HarnessConfig] = None,
+    kind: str = "real",
+    metric: str = "NDCG@3",
+) -> Dict[int, float]:
+    """Fig. 15: ``{d2: mean metric}`` over rounds."""
+    config = config or HarnessConfig()
+    results = {d2: [] for d2 in sizes}
+    for r in range(config.rounds):
+        seed = config.base_seed + r
+        dataset, split = build_dataset(kind, seed, config.scale)
+        for d2 in sizes:
+            model_config = replace(config.model_config, embedding_dim=d2)
+            model = train_o2siterec(
+                dataset, split, config, model_config=model_config, seed=seed
+            )
+            result = evaluate_model(model, dataset, split, top_n=config.top_n, top_n_frac=config.top_n_frac)
+            results[d2].append(result[metric])
+    return {d2: float(np.mean(v)) for d2, v in results.items()}
+
+
+def beta_sweep(
+    betas: Sequence[float] = DEFAULT_BETAS,
+    config: Optional[HarnessConfig] = None,
+    kind: str = "real",
+    metric: str = "NDCG@3",
+) -> Dict[float, float]:
+    """Fig. 16: ``{beta: mean metric}`` over rounds."""
+    config = config or HarnessConfig()
+    results = {beta: [] for beta in betas}
+    for r in range(config.rounds):
+        seed = config.base_seed + r
+        dataset, split = build_dataset(kind, seed, config.scale)
+        for beta in betas:
+            model_config = replace(config.model_config, beta=beta)
+            model = train_o2siterec(
+                dataset, split, config, model_config=model_config, seed=seed
+            )
+            result = evaluate_model(model, dataset, split, top_n=config.top_n, top_n_frac=config.top_n_frac)
+            results[beta].append(result[metric])
+    return {beta: float(np.mean(v)) for beta, v in results.items()}

@@ -1,0 +1,74 @@
+"""Plain-text rendering of paper-shaped tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..metrics import MultiRoundResult, significance_marker
+from .harness import ComparisonTable
+
+
+def format_comparison_table(
+    table: ComparisonTable,
+    title: str = "Performance comparison",
+    metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a ComparisonTable in the layout of Table III / IV."""
+    metrics = list(metrics or table.metrics)
+    name_width = max(len(k) for k in table.rows) + 2
+    header = f"{'model':<{name_width}}" + "".join(f"{m:>14}" for m in metrics)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+
+    for key, result in table.rows.items():
+        cells = []
+        for m in metrics:
+            value = result.mean(m)
+            marker = ""
+            if key == "O2-SiteRec":
+                marker = significance_marker(table.p_value(m))
+            cells.append(f"{value:.4f}{marker:<2}".rjust(14))
+        lines.append(f"{key:<{name_width}}" + "".join(cells))
+
+    lines.append("-" * len(header))
+    lines.append(
+        "** / * : significant at 0.01 / 0.05 (paired t-test vs "
+        f"{table.reference_row})"
+    )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    fmt: str = "{:.4f}",
+) -> str:
+    """Render one figure's data as an aligned text table."""
+    x_strs = [str(x) for x in x_values]
+    x_width = max(len(x_label), max((len(s) for s in x_strs), default=0)) + 2
+    name_width = max((len(n) for n in series), default=4) + 2
+
+    header = f"{x_label:<{x_width}}" + "".join(
+        f"{name:>{max(len(name) + 2, 12)}}" for name in series
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for i, x in enumerate(x_strs):
+        cells = "".join(
+            fmt.format(values[i]).rjust(max(len(name) + 2, 12))
+            for name, values in series.items()
+        )
+        lines.append(f"{x:<{x_width}}{cells}")
+    return "\n".join(lines)
+
+
+def format_bar_groups(
+    title: str,
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    fmt: str = "{:.4f}",
+) -> str:
+    """Render grouped-bar figures (Figs. 10-14) as a text table."""
+    return format_series(title, "group", groups, series, fmt=fmt)

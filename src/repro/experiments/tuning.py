@@ -1,0 +1,99 @@
+"""Hyper-parameter grid search over O2-SiteRec configurations.
+
+A small, dependency-free tuner for the scaled-down cities: enumerate a
+grid of :class:`~repro.core.O2SiteRecConfig` overrides, train each on the
+same rounds, and rank by a chosen metric.  Used to pick the repository's
+defaults; exposed because any downstream user retuning for their own city
+size will need it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics import evaluate_model
+from .harness import HarnessConfig, build_dataset, train_o2siterec
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One grid point's averaged outcome."""
+
+    overrides: Tuple[Tuple[str, object], ...]
+    metric: str
+    mean: float
+    std: float
+    rounds: int
+
+    @property
+    def overrides_dict(self) -> Dict[str, object]:
+        return dict(self.overrides)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v}" for k, v in self.overrides)
+        return f"{params or 'defaults'}: {self.metric}={self.mean:.4f}±{self.std:.4f}"
+
+
+def grid_search(
+    grid: Dict[str, Sequence],
+    config: Optional[HarnessConfig] = None,
+    kind: str = "real",
+    metric: str = "NDCG@3",
+    maximize: Optional[bool] = None,
+    verbose: bool = False,
+) -> List[TrialResult]:
+    """Evaluate every combination in ``grid`` and return trials, best first.
+
+    ``grid`` maps O2SiteRecConfig field names to candidate values, e.g.
+    ``{"embedding_dim": [20, 40], "beta": [0.0, 0.2]}``.  ``maximize``
+    defaults to True unless the metric is RMSE.
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one parameter")
+    config = config or HarnessConfig()
+    if maximize is None:
+        maximize = metric.upper() != "RMSE"
+
+    names = sorted(grid)
+    combos = list(itertools.product(*(grid[name] for name in names)))
+
+    # Build every round's dataset once; reuse across grid points.
+    rounds = []
+    for r in range(config.rounds):
+        seed = config.base_seed + r
+        rounds.append((seed, *build_dataset(kind, seed, config.scale)))
+
+    trials: List[TrialResult] = []
+    for combo in combos:
+        overrides = dict(zip(names, combo))
+        model_config = replace(config.model_config, **overrides)
+        scores = []
+        for seed, dataset, split in rounds:
+            model = train_o2siterec(
+                dataset, split, config, model_config=model_config, seed=seed
+            )
+            result = evaluate_model(
+                model,
+                dataset,
+                split,
+                top_n=config.top_n,
+                top_n_frac=config.top_n_frac,
+            )
+            scores.append(result[metric])
+        trial = TrialResult(
+            overrides=tuple(sorted(overrides.items())),
+            metric=metric,
+            mean=float(np.mean(scores)),
+            std=float(np.std(scores)),
+            rounds=len(scores),
+        )
+        trials.append(trial)
+        if verbose:
+            print(trial)
+
+    trials.sort(key=lambda t: t.mean, reverse=maximize)
+    return trials

@@ -1,0 +1,33 @@
+"""Extensions beyond the paper's evaluation (its Section V future work)."""
+
+from .competition import (
+    REGISTRATIONS,
+    CompetitionResult,
+    DuopolyConfig,
+    DuopolyMarket,
+    run_competition_experiment,
+    split_market,
+)
+from .transfer import (
+    REGIMES,
+    TransferConfig,
+    TransferResult,
+    load_transferable,
+    run_transfer_experiment,
+    transferable_parameters,
+)
+
+__all__ = [
+    "TransferConfig",
+    "TransferResult",
+    "REGIMES",
+    "transferable_parameters",
+    "load_transferable",
+    "run_transfer_experiment",
+    "DuopolyConfig",
+    "DuopolyMarket",
+    "CompetitionResult",
+    "REGISTRATIONS",
+    "split_market",
+    "run_competition_experiment",
+]

@@ -1,0 +1,189 @@
+"""Multi-platform competition (the paper's limitations ii & iii).
+
+"Many stores are registered on more than one platform. The model could be
+more accurate if we can obtain the data from multiple platforms." --
+Section V.  This extension quantifies that claim on the simulator:
+
+* one *market* (a normal simulated month) is split across two platforms:
+  each store registers on A, on B, or on both; orders at dual-registered
+  stores are recorded by the platform the customer's neighbourhood prefers;
+* a site-recommendation model trained on **platform A's log only** sees a
+  censored market; one trained on the **pooled** log sees everything;
+* both are evaluated against the *full-market* demand -- the quantity an
+  operator actually cares about when opening a store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..city import real_world_dataset
+from ..city.simulator import SimulationResult
+from ..core import O2SiteRec, O2SiteRecConfig, TrainConfig, Trainer
+from ..data import SiteRecDataset
+from ..data.records import OrderRecord
+from ..data.split import split_interactions
+from ..metrics import EvaluationResult, evaluate_model
+from ..nn import init
+
+REGISTRATIONS = ("A", "B", "both")
+
+
+@dataclass
+class DuopolyConfig:
+    """Market-splitting knobs."""
+
+    scale: float = 0.6
+    seed: int = 0
+    # Store registration mix (must sum to 1).
+    frac_only_a: float = 0.3
+    frac_only_b: float = 0.25
+    frac_both: float = 0.45
+    # Platform A's mean share of orders at dual-registered stores; varies
+    # smoothly by neighbourhood around this mean.
+    platform_a_share: float = 0.55
+    epochs: int = 50
+    lr: float = 1e-2
+    patience: int = 12
+    top_n_frac: float = 0.35
+    model_config: O2SiteRecConfig = field(default_factory=O2SiteRecConfig)
+
+    def __post_init__(self) -> None:
+        total = self.frac_only_a + self.frac_only_b + self.frac_both
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"registration fractions must sum to 1, got {total}")
+        if not 0 < self.platform_a_share < 1:
+            raise ValueError("platform_a_share must be in (0, 1)")
+
+
+@dataclass
+class DuopolyMarket:
+    """One market split across two platforms."""
+
+    sim: SimulationResult
+    registration: Dict[str, str]  # store_id -> "A" | "B" | "both"
+    orders_a: List[OrderRecord]
+    orders_b: List[OrderRecord]
+
+    @property
+    def market_orders(self) -> int:
+        return self.sim.num_orders
+
+    def coverage(self, platform: str) -> float:
+        """Fraction of the market's orders visible to a platform."""
+        count = len(self.orders_a if platform == "A" else self.orders_b)
+        return count / max(self.market_orders, 1)
+
+
+def split_market(
+    sim: SimulationResult, config: DuopolyConfig
+) -> DuopolyMarket:
+    """Assign registrations and route each order to a platform's log."""
+    rng = np.random.default_rng(config.seed + 4242)
+    registration: Dict[str, str] = {}
+    for store in sim.stores:
+        draw = rng.random()
+        if draw < config.frac_only_a:
+            registration[store.record.store_id] = "A"
+        elif draw < config.frac_only_a + config.frac_only_b:
+            registration[store.record.store_id] = "B"
+        else:
+            registration[store.record.store_id] = "both"
+
+    # Neighbourhood-level platform preference (smooth, around the mean).
+    n = sim.land.num_regions
+    share = np.clip(
+        config.platform_a_share + rng.normal(0.0, 0.1, size=n), 0.1, 0.9
+    )
+
+    orders_a: List[OrderRecord] = []
+    orders_b: List[OrderRecord] = []
+    for order in sim.orders:
+        reg = registration[order.store_id]
+        if reg == "A":
+            orders_a.append(order)
+        elif reg == "B":
+            orders_b.append(order)
+        elif rng.random() < share[order.customer_region]:
+            orders_a.append(order)
+        else:
+            orders_b.append(order)
+    return DuopolyMarket(
+        sim=sim, registration=registration, orders_a=orders_a, orders_b=orders_b
+    )
+
+
+class _MarketView:
+    """Dataset facade whose targets are the full market's demand."""
+
+    def __init__(self, platform_data: SiteRecDataset, market_targets: np.ndarray):
+        self._data = platform_data
+        self.targets = market_targets
+
+    def __getattr__(self, name):
+        return getattr(self._data, name)
+
+    def pair_targets(self, pairs: np.ndarray) -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        return self.targets[pairs[:, 0], pairs[:, 1]]
+
+
+@dataclass
+class CompetitionResult:
+    """Evaluation of platform-censored vs pooled training."""
+
+    results: Dict[str, EvaluationResult]  # "platform_a", "pooled"
+    coverage_a: float
+
+    def __getitem__(self, key: str) -> EvaluationResult:
+        return self.results[key]
+
+    def pooled_gain(self, metric: str = "NDCG@3") -> float:
+        censored = self.results["platform_a"][metric]
+        if censored == 0:
+            return float("nan")
+        return (self.results["pooled"][metric] - censored) / censored
+
+
+def run_competition_experiment(
+    config: Optional[DuopolyConfig] = None,
+) -> CompetitionResult:
+    """Train on platform A's log vs the pooled log; judge on the market."""
+    config = config or DuopolyConfig()
+    sim = real_world_dataset(seed=7 + config.seed, scale=config.scale)
+    market = split_market(sim, config)
+
+    # Full-market ground truth (what a site decision is really about).
+    full = SiteRecDataset.from_simulation(sim)
+    market_targets = full.targets
+
+    train_config = TrainConfig(
+        epochs=config.epochs,
+        lr=config.lr,
+        patience=config.patience,
+        seed=config.seed,
+    )
+
+    results: Dict[str, EvaluationResult] = {}
+    for key, orders in (
+        ("platform_a", market.orders_a),
+        ("pooled", market.orders_a + market.orders_b),
+    ):
+        data = SiteRecDataset.from_simulation(sim, orders=orders)
+        split = split_interactions(
+            data.store_regions, data.num_types, train_frac=0.8, seed=config.seed
+        )
+        init.seed(config.seed * 13 + (1 if key == "platform_a" else 2))
+        model = O2SiteRec(data, split, config.model_config)
+        Trainer(model, train_config).fit(
+            split.train_pairs, data.pair_targets(split.train_pairs)
+        )
+        view = _MarketView(data, market_targets)
+        results[key] = evaluate_model(
+            model, view, split, top_n_frac=config.top_n_frac
+        )
+
+    return CompetitionResult(results=results, coverage_a=market.coverage("A"))

@@ -1,0 +1,192 @@
+"""Cross-city transfer (the paper's stated future work, Section V).
+
+The paper evaluates on one city (Shanghai) and names multi-city analysis as
+future work; its CityTransfer baseline is built on exactly this premise.
+This extension pre-trains O2-SiteRec on a *source* city and transfers the
+city-agnostic parameters -- every attention/projection/prediction weight,
+but not the per-node ID embeddings -- to a data-poor *target* city, then
+fine-tunes.
+
+Three regimes are compared on the target city's test fold:
+
+* ``scratch``   -- train on the target's (reduced) data only;
+* ``zero_shot`` -- transferred weights, no target training at all
+  (embeddings stay at initialisation: a lower bound);
+* ``transfer``  -- transferred weights + target fine-tuning.
+
+With scarce target data, ``transfer`` should beat ``scratch`` -- knowledge
+about *how* capacity, preferences and commercial features combine carries
+across cities even though the cities themselves differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..city import real_world_dataset
+from ..core import O2SiteRec, O2SiteRecConfig, TrainConfig, Trainer
+from ..data import SiteRecDataset
+from ..data.split import InteractionSplit
+from ..metrics import EvaluationResult, evaluate_model
+from ..nn import init
+
+REGIMES = ("scratch", "zero_shot", "transfer")
+
+
+def transferable_parameters(model: O2SiteRec) -> Dict[str, np.ndarray]:
+    """The city-agnostic slice of a model's state dict.
+
+    Per-node ID embeddings are tied to one city's node sets and are
+    excluded; everything else (fusion layers, attention projections,
+    edge-type matrices, time attention, predictor) transfers.
+    """
+    return {
+        name: value
+        for name, value in model.state_dict().items()
+        if "embedding" not in name
+    }
+
+
+def load_transferable(model: O2SiteRec, source: Dict[str, np.ndarray]) -> int:
+    """Copy matching city-agnostic parameters into ``model``.
+
+    Returns the number of parameters copied.  Shape mismatches (e.g. a
+    different feature dimensionality) are skipped -- transfer degrades
+    gracefully rather than failing.
+    """
+    own = dict(model.named_parameters())
+    copied = 0
+    for name, value in source.items():
+        param = own.get(name)
+        if param is not None and param.data.shape == value.shape:
+            param.data = value.copy()
+            copied += 1
+    return copied
+
+
+@dataclass
+class TransferConfig:
+    """Scope of a cross-city transfer experiment."""
+
+    source_scale: float = 0.7
+    target_scale: float = 0.6
+    target_train_frac: float = 0.4  # the target city is data-poor
+    source_epochs: int = 60
+    target_epochs: int = 40
+    fine_tune_epochs: int = 25
+    lr: float = 1e-2
+    fine_tune_lr: float = 3e-3
+    seed: int = 0
+    model_config: O2SiteRecConfig = field(default_factory=O2SiteRecConfig)
+
+
+@dataclass
+class TransferResult:
+    """Evaluation of the three regimes on the target city's test fold."""
+
+    results: Dict[str, EvaluationResult]
+    parameters_transferred: int
+
+    def __getitem__(self, regime: str) -> EvaluationResult:
+        return self.results[regime]
+
+    def improvement(self, metric: str = "NDCG@3") -> float:
+        """Relative gain of transfer over training from scratch."""
+        scratch = self.results["scratch"][metric]
+        if scratch == 0:
+            return float("nan")
+        return (self.results["transfer"][metric] - scratch) / scratch
+
+
+def _build_city(seed: int, scale: float, train_frac: float, split_seed: int):
+    sim = real_world_dataset(seed=seed, scale=scale)
+    dataset = SiteRecDataset.from_simulation(sim)
+    split = dataset.split(seed=split_seed, train_frac=train_frac)
+    return dataset, split
+
+
+def _fit(
+    model: O2SiteRec,
+    dataset: SiteRecDataset,
+    split: InteractionSplit,
+    epochs: int,
+    lr: float,
+    seed: int,
+) -> None:
+    trainer = Trainer(
+        model,
+        TrainConfig(epochs=epochs, lr=lr, patience=max(epochs // 4, 5), seed=seed),
+    )
+    trainer.fit(split.train_pairs, dataset.pair_targets(split.train_pairs))
+
+
+def run_transfer_experiment(
+    config: Optional[TransferConfig] = None,
+    top_n_frac: float = 0.35,
+) -> TransferResult:
+    """Pre-train on a source city, transfer to a data-poor target city."""
+    config = config or TransferConfig()
+    seed = config.seed
+
+    # Source city: plentiful data, full 80/20 split.
+    source_data, source_split = _build_city(
+        seed=7 + seed, scale=config.source_scale, train_frac=0.8, split_seed=seed
+    )
+    init.seed(seed * 31 + 1)
+    source_model = O2SiteRec(source_data, source_split, config.model_config)
+    _fit(
+        source_model,
+        source_data,
+        source_split,
+        config.source_epochs,
+        config.lr,
+        seed,
+    )
+    shared = transferable_parameters(source_model)
+
+    # Target city: a different seed (different land use, stores, demand)
+    # and a deliberately small training fraction.
+    target_data, target_split = _build_city(
+        seed=101 + seed,
+        scale=config.target_scale,
+        train_frac=config.target_train_frac,
+        split_seed=seed,
+    )
+
+    results: Dict[str, EvaluationResult] = {}
+
+    init.seed(seed * 31 + 2)
+    scratch = O2SiteRec(target_data, target_split, config.model_config)
+    _fit(
+        scratch, target_data, target_split, config.target_epochs, config.lr, seed
+    )
+    results["scratch"] = evaluate_model(
+        scratch, target_data, target_split, top_n_frac=top_n_frac
+    )
+
+    init.seed(seed * 31 + 3)
+    zero_shot = O2SiteRec(target_data, target_split, config.model_config)
+    copied = load_transferable(zero_shot, shared)
+    results["zero_shot"] = evaluate_model(
+        zero_shot, target_data, target_split, top_n_frac=top_n_frac
+    )
+
+    init.seed(seed * 31 + 3)  # same init as zero_shot, then fine-tune
+    transfer = O2SiteRec(target_data, target_split, config.model_config)
+    load_transferable(transfer, shared)
+    _fit(
+        transfer,
+        target_data,
+        target_split,
+        config.fine_tune_epochs,
+        config.fine_tune_lr,
+        seed,
+    )
+    results["transfer"] = evaluate_model(
+        transfer, target_data, target_split, top_n_frac=top_n_frac
+    )
+
+    return TransferResult(results=results, parameters_transferred=copied)

@@ -1,0 +1,21 @@
+"""Geography: region grids (Definition 1) and geographic features (III-C)."""
+
+from .features import (
+    entropy,
+    normalize_columns,
+    poi_diversity,
+    region_feature_matrix,
+    store_diversity,
+    traffic_convenience,
+)
+from .grid import RegionGrid
+
+__all__ = [
+    "RegionGrid",
+    "entropy",
+    "poi_diversity",
+    "store_diversity",
+    "traffic_convenience",
+    "region_feature_matrix",
+    "normalize_columns",
+]

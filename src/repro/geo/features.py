@@ -1,0 +1,92 @@
+"""Geographic feature extraction (Section III-C of the paper).
+
+Four features are extracted per region from the context data and used as
+node attributes of both the store-region and customer-region nodes:
+
+* **POI set** -- vector of POI counts per POI type;
+* **POI diversity** -- entropy of the POI type distribution;
+* **Traffic convenience** -- vector of (intersections, roads) counts;
+* **Store diversity** -- entropy of the store type distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def entropy(proportions: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shannon entropy of a (batch of) probability vector(s).
+
+    Zero-probability entries contribute zero; an all-zero row (no items at
+    all) has entropy zero.
+    """
+    p = np.asarray(proportions, dtype=np.float64)
+    total = p.sum(axis=axis, keepdims=True)
+    norm = np.where(total > 0, p / np.where(total > 0, total, 1.0), 0.0)
+    log_term = np.zeros_like(norm)
+    positive = norm > 0
+    log_term[positive] = np.log(norm[positive])
+    return -(norm * log_term).sum(axis=axis)
+
+
+def poi_diversity(poi_counts: np.ndarray) -> np.ndarray:
+    """Information entropy of the POI type proportions per region.
+
+    ``poi_counts`` has shape ``(num_regions, num_poi_types)``.
+    """
+    return entropy(poi_counts, axis=1)
+
+
+def store_diversity(store_type_counts: np.ndarray) -> np.ndarray:
+    """Information entropy of the store type proportions per region."""
+    return entropy(store_type_counts, axis=1)
+
+
+def traffic_convenience(
+    intersections: np.ndarray, roads: np.ndarray
+) -> np.ndarray:
+    """Stack intersection and road counts into a ``(num_regions, 2)`` matrix."""
+    inter = np.asarray(intersections, dtype=np.float64)
+    rd = np.asarray(roads, dtype=np.float64)
+    if inter.shape != rd.shape:
+        raise ValueError("intersections and roads must have the same shape")
+    return np.stack([inter, rd], axis=1)
+
+
+def region_feature_matrix(
+    poi_counts: np.ndarray,
+    intersections: np.ndarray,
+    roads: np.ndarray,
+    store_type_counts: np.ndarray,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Assemble the full geographic feature matrix per region.
+
+    Layout: ``[POI set | POI diversity | traffic convenience | store
+    diversity]`` giving ``num_poi_types + 1 + 2 + 1`` columns.  With
+    ``normalize=True`` each column is scaled to [0, 1] by its maximum
+    (keeps the downstream fusion layers well conditioned).
+    """
+    features = np.concatenate(
+        [
+            np.asarray(poi_counts, dtype=np.float64),
+            poi_diversity(poi_counts)[:, None],
+            traffic_convenience(intersections, roads),
+            store_diversity(store_type_counts)[:, None],
+        ],
+        axis=1,
+    )
+    if normalize:
+        features = normalize_columns(features)
+    return features
+
+
+def normalize_columns(matrix: np.ndarray) -> np.ndarray:
+    """Scale each column to [0, 1] by its maximum (zero columns untouched)."""
+    m = np.asarray(matrix, dtype=np.float64).copy()
+    col_max = m.max(axis=0)
+    nonzero = col_max > 0
+    m[:, nonzero] = m[:, nonzero] / col_max[nonzero]
+    return m

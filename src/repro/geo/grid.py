@@ -1,0 +1,148 @@
+"""City partitioning into square regions (Definition 1 of the paper).
+
+The city is a set of two-dimensional grids of size ``cell_size x cell_size``
+(paper: 500 m x 500 m); each grid cell is a *region*.  Regions are numbered
+row-major; geometry is handled in metres on a local tangent plane, with a
+lon/lat conversion for order records (Table I stores coordinates in degrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+# Metres per degree around Shanghai's latitude (31.2 N), used to emit
+# plausible lon/lat pairs in synthetic order records.
+_M_PER_DEG_LAT = 111_320.0
+_M_PER_DEG_LON = 95_200.0
+
+
+@dataclass(frozen=True)
+class RegionGrid:
+    """A ``rows x cols`` grid of square regions.
+
+    Attributes
+    ----------
+    rows, cols:
+        Grid dimensions.
+    cell_size:
+        Side of each region in metres (``xi`` in Definition 1).
+    origin_lon, origin_lat:
+        Geographic anchor of grid cell (0, 0)'s south-west corner.
+    """
+
+    rows: int
+    cols: int
+    cell_size: float = 500.0
+    origin_lon: float = 121.30
+    origin_lat: float = 31.10
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid must have at least one row and column")
+        if self.cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def num_regions(self) -> int:
+        return self.rows * self.cols
+
+    def region_id(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"cell ({row}, {col}) outside {self.rows}x{self.cols} grid")
+        return row * self.cols + col
+
+    def row_col(self, region: int) -> Tuple[int, int]:
+        if not 0 <= region < self.num_regions:
+            raise IndexError(f"region {region} outside [0, {self.num_regions})")
+        return divmod(region, self.cols)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_regions))
+
+    # -- geometry -------------------------------------------------------------
+    def centroid(self, region: int) -> Tuple[float, float]:
+        """Region centre in metres from the grid origin: ``(x, y)``."""
+        row, col = self.row_col(region)
+        return ((col + 0.5) * self.cell_size, (row + 0.5) * self.cell_size)
+
+    def centroids(self) -> np.ndarray:
+        """All centroids, shape ``(num_regions, 2)`` in metres."""
+        rows, cols = np.divmod(np.arange(self.num_regions), self.cols)
+        return np.stack(
+            [(cols + 0.5) * self.cell_size, (rows + 0.5) * self.cell_size], axis=1
+        )
+
+    def distance(self, region_a: int, region_b: int) -> float:
+        """Euclidean centroid distance in metres."""
+        xa, ya = self.centroid(region_a)
+        xb, yb = self.centroid(region_b)
+        return float(np.hypot(xa - xb, ya - yb))
+
+    def distance_matrix(self) -> np.ndarray:
+        """Pairwise centroid distances, shape ``(N, N)`` in metres."""
+        c = self.centroids()
+        diff = c[:, None, :] - c[None, :, :]
+        return np.sqrt((diff**2).sum(axis=2))
+
+    def region_of_point(self, x: float, y: float) -> int:
+        """Region containing the metre-coordinate point (clamped to grid)."""
+        col = int(np.clip(x // self.cell_size, 0, self.cols - 1))
+        row = int(np.clip(y // self.cell_size, 0, self.rows - 1))
+        return self.region_id(row, col)
+
+    def neighbors_within(self, region: int, radius: float) -> List[int]:
+        """Regions (excluding ``region``) with centroid distance <= radius."""
+        row, col = self.row_col(region)
+        reach = int(radius // self.cell_size) + 1
+        result = []
+        x0, y0 = self.centroid(region)
+        for dr in range(-reach, reach + 1):
+            for dc in range(-reach, reach + 1):
+                if dr == 0 and dc == 0:
+                    continue
+                r, c = row + dr, col + dc
+                if not (0 <= r < self.rows and 0 <= c < self.cols):
+                    continue
+                other = self.region_id(r, c)
+                x1, y1 = self.centroid(other)
+                if np.hypot(x1 - x0, y1 - y0) <= radius:
+                    result.append(other)
+        return result
+
+    def pairs_within(self, radius: float) -> List[Tuple[int, int, float]]:
+        """All ordered region pairs with centroid distance <= radius.
+
+        Returns ``(i, j, distance_m)`` triples with ``i != j`` -- the edge
+        set of the Region Geographical Graph (Definition 2, threshold 800 m).
+        """
+        pairs = []
+        for i in self:
+            for j in self.neighbors_within(i, radius):
+                pairs.append((i, j, self.distance(i, j)))
+        return pairs
+
+    # -- geographic coordinates -----------------------------------------------
+    def to_lonlat(self, x: float, y: float) -> Tuple[float, float]:
+        """Convert metre coordinates to (lon, lat) degrees."""
+        return (
+            self.origin_lon + x / _M_PER_DEG_LON,
+            self.origin_lat + y / _M_PER_DEG_LAT,
+        )
+
+    def from_lonlat(self, lon: float, lat: float) -> Tuple[float, float]:
+        """Convert (lon, lat) degrees to metre coordinates."""
+        return (
+            (lon - self.origin_lon) * _M_PER_DEG_LON,
+            (lat - self.origin_lat) * _M_PER_DEG_LAT,
+        )
+
+    def center_region(self) -> int:
+        return self.region_id(self.rows // 2, self.cols // 2)
+
+    def distance_from_center(self, region: int) -> float:
+        """Centroid distance to the grid's central region, in metres."""
+        return self.distance(region, self.center_region())

@@ -1,0 +1,28 @@
+"""Graph constructions: Definitions 2-4 of the paper."""
+
+from .geographic import DEFAULT_THRESHOLD_M, RegionGeographicalGraph
+from .hetero import (
+    DISTANCE_SCALE_M,
+    FALLBACK_SCOPE_M,
+    HeteroSubgraph,
+    RegionTypeHeteroMultiGraph,
+    build_hetero_multigraph,
+)
+from .mobility import (
+    DELIVERY_TIME_SCALE_MIN,
+    CourierMobilityMultiGraph,
+    MobilitySubgraph,
+)
+
+__all__ = [
+    "RegionGeographicalGraph",
+    "DEFAULT_THRESHOLD_M",
+    "CourierMobilityMultiGraph",
+    "MobilitySubgraph",
+    "DELIVERY_TIME_SCALE_MIN",
+    "RegionTypeHeteroMultiGraph",
+    "HeteroSubgraph",
+    "build_hetero_multigraph",
+    "DISTANCE_SCALE_M",
+    "FALLBACK_SCOPE_M",
+]

@@ -1,0 +1,93 @@
+"""Courier Mobility Multi-graph (Definition 3).
+
+For each period ``t`` an edge ``(r_i, r_j)`` records that couriers moved
+(delivered) from region ``r_i`` to region ``r_j``, attributed with the mean
+observed delivery time.  The union over periods forms the multi-graph; each
+period's subgraph is one reconstruction task of the courier capacity model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..data.aggregates import OrderAggregates
+from ..data.periods import TimePeriod
+
+# Delivery-time normalisation: 60 minutes maps to 1.0 (targets stay O(1)).
+DELIVERY_TIME_SCALE_MIN = 60.0
+
+
+@dataclass(frozen=True)
+class MobilitySubgraph:
+    """One period's courier mobility edges."""
+
+    period: TimePeriod
+    src: np.ndarray  # store regions
+    dst: np.ndarray  # customer regions
+    delivery_time: np.ndarray  # normalised (minutes / DELIVERY_TIME_SCALE_MIN)
+    count: np.ndarray  # deliveries observed on the edge
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def undirected_neighbors(self) -> tuple:
+        """Edge endpoints duplicated in both directions.
+
+        Courier capacity correlates regions symmetrically ("regions with
+        mobility relations have some correlation"), so the mobility semantic
+        aggregation treats edges as undirected.
+        """
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        return src, dst
+
+
+@dataclass(frozen=True)
+class CourierMobilityMultiGraph:
+    """All periods' mobility subgraphs over a shared region node set."""
+
+    num_regions: int
+    subgraphs: Dict[TimePeriod, MobilitySubgraph]
+
+    def subgraph(self, period: TimePeriod) -> MobilitySubgraph:
+        return self.subgraphs[period]
+
+    @property
+    def total_edges(self) -> int:
+        return sum(g.num_edges for g in self.subgraphs.values())
+
+    @classmethod
+    def from_aggregates(
+        cls,
+        aggregates: OrderAggregates,
+        min_count: int = 1,
+        time_scale_min: float = DELIVERY_TIME_SCALE_MIN,
+    ) -> "CourierMobilityMultiGraph":
+        """Build the multi-graph from observed order deliveries.
+
+        ``min_count`` filters pairs with too few deliveries for their mean
+        delivery time to be meaningful.
+        """
+        if time_scale_min <= 0:
+            raise ValueError("time_scale_min must be positive")
+        subgraphs = {}
+        for period in TimePeriod:
+            edges = aggregates.mobility_edges(period, min_count=min_count)
+            if edges:
+                src, dst, dt, count = (np.array(x) for x in zip(*edges))
+            else:
+                src = dst = np.zeros(0, dtype=np.int64)
+                dt = np.zeros(0)
+                count = np.zeros(0, dtype=np.int64)
+            subgraphs[period] = MobilitySubgraph(
+                period=period,
+                src=src.astype(np.int64),
+                dst=dst.astype(np.int64),
+                delivery_time=dt.astype(np.float64) / time_scale_min,
+                count=count.astype(np.int64),
+            )
+        return cls(num_regions=aggregates.num_regions, subgraphs=subgraphs)

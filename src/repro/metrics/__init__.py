@@ -1,0 +1,35 @@
+"""Evaluation metrics: prediction accuracy and ranking quality."""
+
+from .evaluation import (
+    METRIC_NAMES,
+    EvaluationResult,
+    MultiRoundResult,
+    evaluate_model,
+    paired_t_test,
+    significance_marker,
+)
+from .ranking import (
+    average_precision,
+    dcg_at_k,
+    hit_rate_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    rmse,
+)
+
+__all__ = [
+    "ndcg_at_k",
+    "dcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "hit_rate_at_k",
+    "rmse",
+    "evaluate_model",
+    "EvaluationResult",
+    "MultiRoundResult",
+    "paired_t_test",
+    "significance_marker",
+    "METRIC_NAMES",
+]

@@ -1,0 +1,173 @@
+"""Per-type evaluation and multi-round aggregation.
+
+The paper reports the average over all store types in the test data of
+NDCG@{3,5,10}, Precision@{3,5,10} and RMSE, over multiple experiment
+rounds, with a paired t-test against the best baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..data.dataset import SiteRecDataset
+from ..data.split import InteractionSplit
+from .ranking import ndcg_at_k, precision_at_k, rmse
+
+METRIC_NAMES = (
+    "NDCG@3",
+    "NDCG@5",
+    "NDCG@10",
+    "Precision@3",
+    "Precision@5",
+    "Precision@10",
+    "RMSE",
+)
+
+
+@dataclass
+class EvaluationResult:
+    """Metric values (averaged over types) for one model on one split."""
+
+    values: Dict[str, float]
+    per_type: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def as_row(self, metrics: Sequence[str] = METRIC_NAMES) -> List[float]:
+        return [self.values[m] for m in metrics]
+
+
+def evaluate_model(
+    model,
+    dataset: SiteRecDataset,
+    split: InteractionSplit,
+    top_n: int = 30,
+    ks: Sequence[int] = (3, 5, 10),
+    types: Optional[Iterable[int]] = None,
+    regions_filter: Optional[np.ndarray] = None,
+    top_n_frac: Optional[float] = None,
+    min_candidates: int = 2,
+    skip_zero_relevance: bool = True,
+    min_positive: int = 1,
+) -> EvaluationResult:
+    """Evaluate ``model`` on the test fold, averaged over store types.
+
+    ``model`` needs ``predict(pairs) -> np.ndarray``.  ``types`` restricts
+    the evaluation to specific store types (Fig. 12/13);
+    ``regions_filter`` restricts candidates to a region subset (Fig. 14).
+
+    ``top_n`` is the paper's N=30 (sized for a 40k-store city).  On small
+    candidate pools a fixed N saturates Precision@K at 1; ``top_n_frac``
+    replaces it with ``max(3, frac * pool size)`` per type, keeping the
+    metric selective at any scale.
+
+    ``skip_zero_relevance`` drops store types whose candidates all have
+    zero ground truth: such pools carry no ranking information and would
+    score a free 1.0 (this matters for sparse region subsets like the
+    suburbs of Fig. 14).
+    """
+    type_ids = list(types) if types is not None else list(range(dataset.num_types))
+    region_set = set(regions_filter.tolist()) if regions_filter is not None else None
+
+    # Collect every type's candidate pairs, then predict in ONE forward pass
+    # (full-graph models pay per call, not per pair).
+    per_type_pairs: Dict[int, np.ndarray] = {}
+    for a in type_ids:
+        candidates = split.test_regions_for_type(a)
+        if region_set is not None:
+            candidates = np.array(
+                [r for r in candidates if int(r) in region_set], dtype=np.int64
+            )
+        if len(candidates) < max(min_candidates, 2):
+            continue
+        pairs = np.stack(
+            [candidates, np.full(len(candidates), a, dtype=np.int64)], axis=1
+        )
+        positives = int((dataset.pair_targets(pairs) > 0).sum())
+        if skip_zero_relevance and positives == 0:
+            continue
+        if positives < min_positive:
+            continue
+        per_type_pairs[a] = pairs
+    if not per_type_pairs:
+        raise ValueError("no store type had enough test candidates to evaluate")
+
+    all_pairs = np.concatenate(list(per_type_pairs.values()), axis=0)
+    all_scores = np.asarray(model.predict(all_pairs), dtype=np.float64)
+
+    per_type: Dict[int, Dict[str, float]] = {}
+    offset = 0
+    for a, pairs in per_type_pairs.items():
+        scores = all_scores[offset : offset + len(pairs)]
+        offset += len(pairs)
+        relevance = dataset.pair_targets(pairs)
+
+        effective_top_n = top_n
+        if top_n_frac is not None:
+            effective_top_n = max(3, int(round(top_n_frac * len(pairs))))
+
+        row: Dict[str, float] = {}
+        for k in ks:
+            row[f"NDCG@{k}"] = ndcg_at_k(scores, relevance, k)
+            row[f"Precision@{k}"] = precision_at_k(
+                scores, relevance, k, top_n=effective_top_n
+            )
+        row["RMSE"] = rmse(scores, relevance)
+        per_type[a] = row
+
+    averaged = {
+        name: float(np.mean([row[name] for row in per_type.values()]))
+        for name in next(iter(per_type.values()))
+    }
+    return EvaluationResult(values=averaged, per_type=per_type)
+
+
+@dataclass
+class MultiRoundResult:
+    """Metric values across experiment rounds for one model."""
+
+    rounds: List[EvaluationResult]
+
+    def mean(self, metric: str) -> float:
+        return float(np.mean([r[metric] for r in self.rounds]))
+
+    def std(self, metric: str) -> float:
+        return float(np.std([r[metric] for r in self.rounds]))
+
+    def series(self, metric: str) -> np.ndarray:
+        return np.array([r[metric] for r in self.rounds])
+
+
+def paired_t_test(
+    ours: MultiRoundResult, baseline: MultiRoundResult, metric: str
+) -> float:
+    """p-value of a paired t-test on a metric across rounds.
+
+    The paper reports significance of O2-SiteRec against the best baseline
+    (HGT) at levels 0.05 / 0.01.
+    """
+    a = ours.series(metric)
+    b = baseline.series(metric)
+    if len(a) != len(b):
+        raise ValueError("both models must be evaluated on the same rounds")
+    if len(a) < 2:
+        return float("nan")
+    if np.allclose(a, b):
+        return 1.0
+    return float(stats.ttest_rel(a, b).pvalue)
+
+
+def significance_marker(p_value: float) -> str:
+    """The paper's table annotation: ** for p<0.01, * for p<0.05."""
+    if np.isnan(p_value):
+        return ""
+    if p_value < 0.01:
+        return "**"
+    if p_value < 0.05:
+        return "*"
+    return ""

@@ -1,0 +1,138 @@
+"""Ranking metrics (Section IV-A4).
+
+* **NDCG@K** follows the graded hit-position definition of Geo-spotting
+  [12]: candidates are ranked by the model; the DCG discounts each
+  candidate's true relevance (its ground-truth order count) by its rank,
+  and normalises by the ideal ordering.
+* **Precision@K** (Eq. 18): overlap between the top-k predicted regions and
+  the top-N ground-truth regions, divided by k (paper: N=30).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+DEFAULT_TOP_N = 30
+
+
+def _validate(scores: np.ndarray, relevance: np.ndarray) -> None:
+    if scores.shape != relevance.shape:
+        raise ValueError("scores and relevance must have the same shape")
+    if scores.ndim != 1:
+        raise ValueError("scores must be one-dimensional")
+    if len(scores) == 0:
+        raise ValueError("empty candidate list")
+
+
+def dcg_at_k(relevance_in_rank_order: np.ndarray, k: int) -> float:
+    """Discounted cumulative gain of the first ``k`` entries."""
+    rel = np.asarray(relevance_in_rank_order, dtype=np.float64)[:k]
+    if len(rel) == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, len(rel) + 2))
+    return float((rel * discounts).sum())
+
+
+def ndcg_at_k(scores: np.ndarray, relevance: np.ndarray, k: int) -> float:
+    """NDCG@k of candidates scored by ``scores`` with true ``relevance``.
+
+    Returns 1.0 when every candidate has zero relevance (nothing to rank).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    relevance = np.asarray(relevance, dtype=np.float64)
+    _validate(scores, relevance)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    predicted_order = np.argsort(-scores, kind="stable")
+    ideal_order = np.argsort(-relevance, kind="stable")
+    ideal = dcg_at_k(relevance[ideal_order], k)
+    if ideal == 0.0:
+        return 1.0
+    return dcg_at_k(relevance[predicted_order], k) / ideal
+
+
+def precision_at_k(
+    scores: np.ndarray,
+    relevance: np.ndarray,
+    k: int,
+    top_n: int = DEFAULT_TOP_N,
+) -> float:
+    """Precision@k against the top-N ground-truth candidates (Eq. 18)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    relevance = np.asarray(relevance, dtype=np.float64)
+    _validate(scores, relevance)
+    if k < 1 or top_n < 1:
+        raise ValueError("k and top_n must be >= 1")
+    k = min(k, len(scores))
+    top_n = min(top_n, len(scores))
+    predicted_top = set(np.argsort(-scores, kind="stable")[:k].tolist())
+    true_top = set(np.argsort(-relevance, kind="stable")[:top_n].tolist())
+    return len(predicted_top & true_top) / k
+
+
+def recall_at_k(
+    scores: np.ndarray,
+    relevance: np.ndarray,
+    k: int,
+    top_n: int = DEFAULT_TOP_N,
+) -> float:
+    """Recall@k: fraction of the top-N true candidates captured in the
+    predicted top-k (complement of Eq. 18's precision)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    relevance = np.asarray(relevance, dtype=np.float64)
+    _validate(scores, relevance)
+    if k < 1 or top_n < 1:
+        raise ValueError("k and top_n must be >= 1")
+    k = min(k, len(scores))
+    top_n = min(top_n, len(scores))
+    predicted_top = set(np.argsort(-scores, kind="stable")[:k].tolist())
+    true_top = set(np.argsort(-relevance, kind="stable")[:top_n].tolist())
+    return len(predicted_top & true_top) / len(true_top)
+
+
+def average_precision(
+    scores: np.ndarray, relevance: np.ndarray, top_n: int = DEFAULT_TOP_N
+) -> float:
+    """Average precision with the top-N true candidates as the relevant set.
+
+    Summarises the whole ranking (not just a cutoff); used by the extended
+    evaluation, not by the paper's tables.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    relevance = np.asarray(relevance, dtype=np.float64)
+    _validate(scores, relevance)
+    top_n = min(max(top_n, 1), len(scores))
+    true_top = set(np.argsort(-relevance, kind="stable")[:top_n].tolist())
+    order = np.argsort(-scores, kind="stable")
+    hits = 0
+    precision_sum = 0.0
+    for rank, idx in enumerate(order, start=1):
+        if int(idx) in true_top:
+            hits += 1
+            precision_sum += hits / rank
+    return precision_sum / len(true_top) if true_top else 0.0
+
+
+def hit_rate_at_k(scores: np.ndarray, relevance: np.ndarray, k: int) -> float:
+    """1.0 if the single best true candidate appears in the predicted top-k."""
+    scores = np.asarray(scores, dtype=np.float64)
+    relevance = np.asarray(relevance, dtype=np.float64)
+    _validate(scores, relevance)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    best = int(np.argmax(relevance))
+    top_k = np.argsort(-scores, kind="stable")[: min(k, len(scores))]
+    return 1.0 if best in set(top_k.tolist()) else 0.0
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root mean squared error."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("empty inputs")
+    return float(np.sqrt(np.mean((predictions - targets) ** 2)))

@@ -1,0 +1,6 @@
+"""Classic-ML substrate: decision trees and gradient boosting."""
+
+from .gbdt import GradientBoostedTrees
+from .tree import DecisionTreeRegressor
+
+__all__ = ["DecisionTreeRegressor", "GradientBoostedTrees"]

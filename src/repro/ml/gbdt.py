@@ -1,0 +1,88 @@
+"""Gradient-boosted regression trees (squared loss).
+
+Standard Friedman-style boosting on top of
+:class:`~repro.ml.tree.DecisionTreeRegressor`: each stage fits the
+residuals of the running prediction, optionally on a subsample of rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+
+class GradientBoostedTrees:
+    """Boosted regression trees for squared error."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0 < subsample <= 1:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self._trees: List[DecisionTreeRegressor] = []
+        self._base: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(x) != len(y) or x.ndim != 2:
+            raise ValueError("x must be (n, f) with matching y")
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        self._base = float(y.mean())
+        current = np.full(len(y), self._base)
+
+        for _ in range(self.n_estimators):
+            residual = y - current
+            if self.subsample < 1.0:
+                take = max(int(round(self.subsample * len(y))), 2 * self.min_samples_leaf)
+                take = min(take, len(y))
+                idx = rng.choice(len(y), size=take, replace=False)
+            else:
+                idx = np.arange(len(y))
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            )
+            tree.fit(x[idx], residual[idx])
+            self._trees.append(tree)
+            current = current + self.learning_rate * tree.predict(x)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("fit the model before predicting")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.full(len(x), self._base)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(x)
+        return out
+
+    def staged_mse(self, x: np.ndarray, y: np.ndarray) -> List[float]:
+        """Training-curve diagnostic: MSE after each boosting stage."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        out = np.full(len(x), self._base)
+        curve = []
+        for tree in self._trees:
+            out = out + self.learning_rate * tree.predict(x)
+            curve.append(float(np.mean((out - y) ** 2)))
+        return curve

@@ -1,0 +1,137 @@
+"""Decision-tree regression (exact variance-reduction splits).
+
+A classic-ML substrate for the feature-based site-recommendation lineage
+the paper cites (Geo-spotting [12], BoardWatch [35] use feature rankers and
+tree-enhanced regressors).  No external ML libraries exist in this
+environment, so the trees are built from scratch: exact split search over
+sorted feature columns, squared-error criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a prediction, splits carry children."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(
+    x: np.ndarray, y: np.ndarray, min_samples_leaf: int
+) -> Optional[tuple]:
+    """Exact best (feature, threshold) by squared-error reduction.
+
+    Returns ``(feature, threshold, gain)`` or ``None`` when no split
+    satisfies the leaf-size constraint or improves the error.
+    """
+    n, num_features = x.shape
+    if n < 2 * min_samples_leaf:
+        return None
+    total_sum = y.sum()
+    total_sq = (y**2).sum()
+    base_error = total_sq - total_sum**2 / n
+
+    best = None
+    best_gain = 1e-12
+    for feature in range(num_features):
+        order = np.argsort(x[:, feature], kind="stable")
+        xs = x[order, feature]
+        ys = y[order]
+        left_sum = np.cumsum(ys)[:-1]
+        left_sq = np.cumsum(ys**2)[:-1]
+        counts = np.arange(1, n)
+
+        valid = (
+            (counts >= min_samples_leaf)
+            & (counts <= n - min_samples_leaf)
+            & (xs[1:] > xs[:-1])  # cannot split between equal values
+        )
+        if not valid.any():
+            continue
+
+        right_sum = total_sum - left_sum
+        right_sq = total_sq - left_sq
+        left_err = left_sq - left_sum**2 / counts
+        right_err = right_sq - right_sum**2 / (n - counts)
+        gain = base_error - (left_err + right_err)
+        gain[~valid] = -np.inf
+
+        idx = int(np.argmax(gain))
+        if gain[idx] > best_gain:
+            best_gain = float(gain[idx])
+            threshold = 0.5 * (xs[idx] + xs[idx + 1])
+            best = (feature, threshold, best_gain)
+    return best
+
+
+class DecisionTreeRegressor:
+    """CART-style regression tree with exact splits."""
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 5) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: Optional[_Node] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError("x must be (n, f) with matching y")
+        if len(x) == 0:
+            raise ValueError("empty training set")
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        split = _best_split(x, y, self.min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit the tree before predicting")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    @property
+    def depth(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,31 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`."""
+
+from . import init
+from .activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh, get_activation
+from .attention import MeanSegmentAggregation, MultiHeadSegmentAttention
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear
+from .mlp import MLP
+from .module import Module, ModuleList, Parameter
+from .norm import LayerNorm
+
+__all__ = [
+    "init",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "LayerNorm",
+    "MLP",
+    "MultiHeadSegmentAttention",
+    "MeanSegmentAggregation",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "get_activation",
+]

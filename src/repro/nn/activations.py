@@ -1,0 +1,57 @@
+"""Activation functions, as modules and as a registry by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, slope: float = 0.2) -> None:
+        super().__init__()
+        self.slope = slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+_ACTIVATIONS: Dict[str, Callable[[], Module]] = {
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "identity": Identity,
+    "none": Identity,
+}
+
+
+def get_activation(name: str) -> Module:
+    """Look up an activation module by name (paper default: ReLU)."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None

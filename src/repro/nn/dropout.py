@@ -1,0 +1,30 @@
+"""Inverted dropout (the paper applies dropout to alleviate overfitting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from . import init
+from .module import Module
+
+
+class Dropout(Module):
+    """Zero each element with probability ``p`` during training.
+
+    Uses inverted scaling (division by keep probability) so evaluation is a
+    no-op.
+    """
+
+    def __init__(self, p: float = 0.1) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (init.default_rng().random(x.shape) < keep) / keep
+        return x * Tensor(mask)

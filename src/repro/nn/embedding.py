@@ -1,0 +1,37 @@
+"""Learnable lookup-table embeddings (node-ID latent features)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, gather_rows
+from . import init
+from .module import Module, Parameter
+
+
+class Embedding(Module):
+    """A table of ``num_embeddings`` rows of size ``embedding_dim``.
+
+    Used for the paper's four randomly-initialised, jointly-learned ID
+    embeddings (region embeddings ``b``, store-region ``h'``,
+    customer-region ``z'`` and store-type ``q'``).
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, std: float = 0.1) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.normal((num_embeddings, embedding_dim), std=std), name="weight"
+        )
+
+    def forward(self, indices=None) -> Tensor:
+        """Look up rows; with ``indices=None`` return the full table."""
+        if indices is None:
+            return self.weight
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})"
+            )
+        return gather_rows(self.weight, idx)

@@ -1,0 +1,38 @@
+"""Weight initialisation schemes.
+
+A process-local :func:`seed` / :func:`default_rng` pair keeps model
+construction reproducible without threading a generator through every
+constructor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RNG = np.random.default_rng(0)
+
+
+def seed(value: int) -> None:
+    """Reset the global initialiser RNG (call before building a model)."""
+    global _RNG
+    _RNG = np.random.default_rng(value)
+
+
+def default_rng() -> np.random.Generator:
+    return _RNG
+
+
+def xavier_uniform(fan_in: int, fan_out: int, shape=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return _RNG.uniform(-limit, limit, size=shape)
+
+
+def normal(shape, std: float = 0.1) -> np.ndarray:
+    return _RNG.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,29 @@
+"""Dense (affine) layer."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """``y = x @ W + b`` with Xavier-initialised ``W``.
+
+    Accepts inputs of shape ``(..., in_features)``.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform(in_features, out_features), name="weight"
+        )
+        self.bias = Parameter(init.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out

@@ -1,0 +1,47 @@
+"""Multi-layer perceptron used for prediction heads."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..tensor import Tensor
+from .activations import get_activation
+from .dropout import Dropout
+from .linear import Linear
+from .module import Module, ModuleList
+
+
+class MLP(Module):
+    """Stack of Linear layers with activations between them.
+
+    ``hidden`` lists the hidden sizes; the final layer maps to ``out_dim``
+    with ``out_activation`` applied (paper heads use ReLU throughout).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: Sequence[int],
+        out_dim: int,
+        activation: str = "relu",
+        out_activation: str = "identity",
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        sizes = [in_dim] + list(hidden) + [out_dim]
+        self.layers = ModuleList(
+            Linear(sizes[i], sizes[i + 1]) for i in range(len(sizes) - 1)
+        )
+        self.activation = get_activation(activation)
+        self.out_activation = get_activation(out_activation)
+        self.dropout = Dropout(dropout) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = len(self.layers)
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < n - 1:
+                x = self.activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return self.out_activation(x)

@@ -1,0 +1,37 @@
+"""Layer normalisation.
+
+Not part of the paper's architecture, but offered for deeper model stacks
+(normalising node embeddings between aggregation layers stabilises training
+on larger cities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalise the last axis to zero mean / unit variance, then affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if dim < 1:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.eps = eps
+        self.gain = Parameter(np.ones(dim), name="gain")
+        self.bias = Parameter(np.zeros(dim), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"LayerNorm({self.dim}) got trailing dimension {x.shape[-1]}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred * (variance + self.eps) ** -0.5
+        return normalised * self.gain + self.bias

@@ -1,0 +1,21 @@
+"""Optimizers and loss functions."""
+
+from .adam import Adam
+from .losses import l1_loss, l2_penalty, mse_loss
+from .optimizer import Optimizer, clip_grad_norm
+from .schedule import CosineLR, LRSchedule, StepLR, WarmupLR
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "LRSchedule",
+    "StepLR",
+    "CosineLR",
+    "WarmupLR",
+    "mse_loss",
+    "l1_loss",
+    "l2_penalty",
+]

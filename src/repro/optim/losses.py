@@ -1,0 +1,40 @@
+"""Loss functions.
+
+The paper uses two task losses:
+
+* ``O1`` (Eq. 6): mean absolute reconstruction error of delivery times in the
+  courier mobility graph -- :func:`l1_loss`;
+* ``O2`` (Eq. 16): mean squared error of predicted order counts --
+  :func:`mse_loss`;
+
+combined as ``Loss = O2 + beta * O1`` (Eq. 17), see
+:func:`repro.core.model.O2SiteRec.loss`.
+"""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, as_tensor
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error over all elements."""
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error over all elements."""
+    target = as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def l2_penalty(parameters, coefficient: float) -> Tensor:
+    """Sum of squared parameter values scaled by ``coefficient``."""
+    total = None
+    for p in parameters:
+        term = (p * p).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * coefficient

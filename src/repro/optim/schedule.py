@@ -1,0 +1,81 @@
+"""Learning-rate schedules.
+
+Wrap an optimizer and call :meth:`step` once per epoch; the schedule
+mutates ``optimizer.lr`` in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optimizer import Optimizer
+
+
+class LRSchedule:
+    """Base class: tracks the epoch count and the base learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.compute_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def compute_lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class StepLR(LRSchedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from the base rate down to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def compute_lr(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupLR(LRSchedule):
+    """Linear warmup to the base rate, then constant."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int) -> None:
+        super().__init__(optimizer)
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        self.warmup_epochs = warmup_epochs
+        # Start below the base rate immediately.
+        optimizer.lr = self.compute_lr(0)
+
+    def compute_lr(self, epoch: int) -> float:
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * (epoch + 1) / (self.warmup_epochs + 1)

@@ -1,0 +1,40 @@
+"""Numpy-backed reverse-mode autodiff substrate.
+
+The paper's reference implementation runs on PyTorch; this package is the
+self-contained replacement used by every model in the repository.
+"""
+
+from .grad_check import check_gradients, numerical_gradient
+from .ops import (
+    concat,
+    gather_rows,
+    ones,
+    segment_counts,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    softmax,
+    stack,
+    where,
+    zeros,
+)
+from .tensor import Tensor, as_tensor, unbroadcast
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "unbroadcast",
+    "concat",
+    "stack",
+    "gather_rows",
+    "segment_sum",
+    "segment_mean",
+    "segment_counts",
+    "segment_softmax",
+    "softmax",
+    "where",
+    "zeros",
+    "ones",
+    "check_gradients",
+    "numerical_gradient",
+]

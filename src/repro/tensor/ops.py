@@ -1,0 +1,180 @@
+"""Functional operations on :class:`~repro.tensor.Tensor`.
+
+Besides the usual dense ops (:func:`concat`, :func:`softmax`, ...) this
+module provides the *segment* operations that make graph neural networks
+practical on a numpy backend:
+
+* :func:`gather_rows` — select node rows by edge endpoint indices;
+* :func:`segment_sum` / :func:`segment_mean` — scatter-add edge messages back
+  to node slots;
+* :func:`segment_softmax` — softmax of attention scores *within* each target
+  node's neighbourhood (variable neighbourhood sizes, no padding).
+
+All segment ops take an integer ``segment_ids`` array aligned with axis 0 of
+the data and a ``num_segments`` total, mirroring the message-passing pattern
+``messages = gather_rows(h, src); out = segment_sum(messages, dst, n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import ArrayLike, Tensor, as_tensor, unbroadcast
+
+
+def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    ts = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in ts], axis=axis)
+    sizes = [t.data.shape[axis] for t in ts]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, splits, axis=axis)
+        return tuple(zip(ts, pieces))
+
+    return Tensor(data, parents=tuple(ts), backward=backward)
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    ts = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in ts], axis=axis)
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, len(ts), axis=axis)
+        return tuple(
+            (t, np.squeeze(piece, axis=axis)) for t, piece in zip(ts, pieces)
+        )
+
+    return Tensor(data, parents=tuple(ts), backward=backward)
+
+
+def gather_rows(tensor: ArrayLike, indices: np.ndarray) -> Tensor:
+    """Select rows ``tensor[indices]`` along axis 0 (differentiable).
+
+    ``indices`` may repeat; the backward pass scatter-adds into the source.
+    """
+    t = as_tensor(tensor)
+    idx = np.asarray(indices, dtype=np.int64)
+    shape = t.shape
+
+    def backward(grad: np.ndarray):
+        full = np.zeros(shape, dtype=np.float64)
+        np.add.at(full, idx, grad)
+        return ((t, full),)
+
+    return Tensor(t.data[idx], parents=(t,), backward=backward)
+
+
+def segment_sum(data: ArrayLike, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``data`` into ``num_segments`` buckets by ``segment_ids``."""
+    t = as_tensor(data)
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    if ids.shape[0] != t.shape[0]:
+        raise ValueError(
+            f"segment_ids length {ids.shape[0]} does not match data rows "
+            f"{t.shape[0]}"
+        )
+    result = np.zeros((num_segments,) + t.shape[1:], dtype=np.float64)
+    np.add.at(result, ids, t.data)
+
+    def backward(grad: np.ndarray):
+        return ((t, grad[ids]),)
+
+    return Tensor(result, parents=(t,), backward=backward)
+
+
+def segment_counts(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Number of rows mapped to each segment (plain numpy, no autograd)."""
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    return np.bincount(ids, minlength=num_segments).astype(np.float64)
+
+
+def segment_mean(data: ArrayLike, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of rows per segment; empty segments yield zeros."""
+    t = as_tensor(data)
+    counts = segment_counts(segment_ids, num_segments)
+    denom = np.maximum(counts, 1.0)
+    summed = segment_sum(t, segment_ids, num_segments)
+    if summed.data.ndim > 1:
+        denom = denom.reshape((-1,) + (1,) * (summed.data.ndim - 1))
+    return summed * Tensor(1.0 / denom)
+
+
+def segment_softmax(
+    scores: ArrayLike, segment_ids: np.ndarray, num_segments: int
+) -> Tensor:
+    """Softmax of ``scores`` computed independently within each segment.
+
+    ``scores`` has shape ``(E,)`` or ``(E, H)`` (per-head scores); the softmax
+    normalises over all rows sharing a segment id, per trailing column.
+    Numerically stabilised by subtracting the per-segment maximum.
+    """
+    t = as_tensor(scores)
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    data = t.data
+    squeeze = False
+    if data.ndim == 1:
+        data = data[:, None]
+        squeeze = True
+
+    # Per-segment max for numerical stability (constant wrt gradient).
+    seg_max = np.full((num_segments, data.shape[1]), -np.inf)
+    np.maximum.at(seg_max, ids, data)
+    shifted = data - seg_max[ids]
+    exp = np.exp(shifted)
+    seg_sum = np.zeros((num_segments, data.shape[1]), dtype=np.float64)
+    np.add.at(seg_sum, ids, exp)
+    weights = exp / seg_sum[ids]
+    value = weights[:, 0] if squeeze else weights
+
+    def backward(grad: np.ndarray):
+        g = grad[:, None] if squeeze else grad
+        # d softmax: w * (g - sum_j w_j g_j) within each segment.
+        weighted = np.zeros((num_segments, data.shape[1]), dtype=np.float64)
+        np.add.at(weighted, ids, weights * g)
+        local = weights * (g - weighted[ids])
+        return ((t, local[:, 0] if squeeze else local),)
+
+    return Tensor(value, parents=(t,), backward=backward)
+
+
+def softmax(tensor: ArrayLike, axis: int = -1) -> Tensor:
+    """Standard softmax along ``axis`` (differentiable, stabilised)."""
+    t = as_tensor(tensor)
+    shifted = t.data - t.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    value = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        inner = (grad * value).sum(axis=axis, keepdims=True)
+        return ((t, value * (grad - inner)),)
+
+    return Tensor(value, parents=(t,), backward=backward)
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise select (condition is a constant boolean array)."""
+    cond = np.asarray(condition, dtype=bool)
+    ta, tb = as_tensor(a), as_tensor(b)
+
+    def backward(grad: np.ndarray):
+        return (
+            (ta, unbroadcast(np.where(cond, grad, 0.0), ta.shape)),
+            (tb, unbroadcast(np.where(cond, 0.0, grad), tb.shape)),
+        )
+
+    return Tensor(
+        np.where(cond, ta.data, tb.data), parents=(ta, tb), backward=backward
+    )
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

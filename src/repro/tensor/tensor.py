@@ -1,0 +1,473 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module provides the :class:`Tensor` class, the computational substrate
+for every neural model in this repository (the paper's reference
+implementation uses PyTorch; this is a self-contained replacement).
+
+A :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations used
+to produce it.  Calling :meth:`Tensor.backward` on a result walks the
+recorded graph in reverse topological order and accumulates gradients into
+every tensor created with ``requires_grad=True``.
+
+Design note: each op's backward is a closure that receives the output
+gradient and *returns* ``(parent, parent_grad)`` pairs.  Closures capture
+only their parents and local constants -- never the output tensor -- so a
+discarded graph is reclaimed by reference counting alone, without waiting
+for the cycle collector (important for training loops that build thousands
+of small graphs).
+
+Broadcasting follows numpy semantics; gradients of broadcast operands are
+reduced back to the operand's shape (see :func:`unbroadcast`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+# A backward rule maps the output gradient to (parent, gradient) pairs.
+BackwardRule = Callable[[np.ndarray], Iterable[Tuple["Tensor", np.ndarray]]]
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    Inverse of numpy broadcasting: axes that were added are summed away and
+    axes that were stretched from size 1 are summed back to size 1.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    stretched = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if stretched:
+        grad = grad.sum(axis=stretched, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value: ArrayLike) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64))
+
+
+class Tensor:
+    """A numpy array plus the bookkeeping for reverse-mode autodiff."""
+
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward: Optional[BackwardRule] = None,
+        name: str = "",
+    ) -> None:
+        self.data: np.ndarray = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = requires_grad or any(
+            p.requires_grad for p in parents
+        )
+        self._parents: Tuple[Tensor, ...] = tuple(parents)
+        self._backward: Optional[BackwardRule] = backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Autograd driver
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (so ``loss.backward()`` works for scalar
+        losses).  Gradients accumulate into ``.grad`` of every reachable
+        tensor with ``requires_grad=True``.
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"seed gradient shape {grad.shape} does not match tensor "
+                    f"shape {self.data.shape}"
+                )
+
+        order = self._topological_order()
+        grads: dict = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                if node.requires_grad:
+                    if node.grad is None:
+                        node.grad = node_grad.copy()
+                    else:
+                        node.grad = node.grad + node_grad
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Reverse topological order (this tensor first)."""
+        order: List[Tensor] = []
+        visited: set = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Binary arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(grad: np.ndarray):
+            return (
+                (a, unbroadcast(grad, a.shape)),
+                (b, unbroadcast(grad, b.shape)),
+            )
+
+        return Tensor(a.data + b.data, parents=(a, b), backward=backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(grad: np.ndarray):
+            return (
+                (a, unbroadcast(grad, a.shape)),
+                (b, unbroadcast(-grad, b.shape)),
+            )
+
+        return Tensor(a.data - b.data, parents=(a, b), backward=backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(grad: np.ndarray):
+            return (
+                (a, unbroadcast(grad * b.data, a.shape)),
+                (b, unbroadcast(grad * a.data, b.shape)),
+            )
+
+        return Tensor(a.data * b.data, parents=(a, b), backward=backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(grad: np.ndarray):
+            return (
+                (a, unbroadcast(grad / b.data, a.shape)),
+                (b, unbroadcast(-grad * a.data / (b.data**2), b.shape)),
+            )
+
+        return Tensor(a.data / b.data, parents=(a, b), backward=backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(grad: np.ndarray):
+            return ((a, -grad),)
+
+        return Tensor(-a.data, parents=(a,), backward=backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+
+        def backward(grad: np.ndarray):
+            return ((a, grad * exponent * a.data ** (exponent - 1)),)
+
+        return Tensor(a.data**exponent, parents=(a,), backward=backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product supporting 1-D, 2-D and batched operands."""
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(grad: np.ndarray):
+            a_data, b_data = a.data, b.data
+            if a_data.ndim == 1 and b_data.ndim == 1:
+                return ((a, grad * b_data), (b, grad * a_data))
+            if a_data.ndim == 1:
+                return ((a, grad @ b_data.T), (b, np.outer(a_data, grad)))
+            if b_data.ndim == 1:
+                return ((a, np.outer(grad, b_data)), (b, a_data.T @ grad))
+            ga = grad @ np.swapaxes(b_data, -1, -2)
+            gb = np.swapaxes(a_data, -1, -2) @ grad
+            return (
+                (a, unbroadcast(ga, a_data.shape)),
+                (b, unbroadcast(gb, b_data.shape)),
+            )
+
+        return Tensor(a.data @ b.data, parents=(a, b), backward=backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        value = np.exp(a.data)
+
+        def backward(grad: np.ndarray):
+            return ((a, grad * value),)
+
+        return Tensor(value, parents=(a,), backward=backward)
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(grad: np.ndarray):
+            return ((a, grad / a.data),)
+
+        return Tensor(np.log(a.data), parents=(a,), backward=backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def abs(self) -> "Tensor":
+        a = self
+
+        def backward(grad: np.ndarray):
+            return ((a, grad * np.sign(a.data)),)
+
+        return Tensor(np.abs(a.data), parents=(a,), backward=backward)
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+
+        def backward(grad: np.ndarray):
+            return ((a, grad * mask),)
+
+        return Tensor(a.data * mask, parents=(a,), backward=backward)
+
+    def leaky_relu(self, slope: float = 0.2) -> "Tensor":
+        a = self
+        scale = np.where(a.data > 0, 1.0, slope)
+
+        def backward(grad: np.ndarray):
+            return ((a, grad * scale),)
+
+        return Tensor(a.data * scale, parents=(a,), backward=backward)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        value = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0)))
+
+        def backward(grad: np.ndarray):
+            return ((a, grad * value * (1.0 - value)),)
+
+        return Tensor(value, parents=(a,), backward=backward)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        value = np.tanh(a.data)
+
+        def backward(grad: np.ndarray):
+            return ((a, grad * (1.0 - value**2)),)
+
+        return Tensor(value, parents=(a,), backward=backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        shape = a.shape
+
+        def backward(grad: np.ndarray):
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(ax % len(shape) for ax in axes)
+                for ax in sorted(axes):
+                    g = np.expand_dims(g, axis=ax)
+            return ((a, np.broadcast_to(g, shape).copy()),)
+
+        return Tensor(
+            a.data.sum(axis=axis, keepdims=keepdims), parents=(a,), backward=backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        shape = a.shape
+        value = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            g, v = grad, value
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(ax % len(shape) for ax in axes)
+                for ax in sorted(axes):
+                    g = np.expand_dims(g, axis=ax)
+                    v = np.expand_dims(v, axis=ax)
+            mask = a.data == v
+            # Split gradient evenly among ties (subgradient convention).
+            counts = (
+                mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            )
+            return ((a, np.where(mask, g / counts, 0.0)),)
+
+        return Tensor(value, parents=(a,), backward=backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        original = a.shape
+
+        def backward(grad: np.ndarray):
+            return ((a, grad.reshape(original)),)
+
+        return Tensor(a.data.reshape(shape), parents=(a,), backward=backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        a = self
+        if not axes:
+            axes_seq: Optional[Tuple[int, ...]] = None
+            data = a.data.T
+        else:
+            if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+                axes = tuple(axes[0])
+            axes_seq = tuple(axes)
+            data = a.data.transpose(axes_seq)
+
+        def backward(grad: np.ndarray):
+            if axes_seq is None:
+                return ((a, grad.T),)
+            return ((a, grad.transpose(np.argsort(axes_seq))),)
+
+        return Tensor(data, parents=(a,), backward=backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        a = self
+
+        def backward(grad: np.ndarray):
+            return ((a, np.squeeze(grad, axis=axis)),)
+
+        return Tensor(np.expand_dims(a.data, axis), parents=(a,), backward=backward)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        a = self
+        original = a.shape
+
+        def backward(grad: np.ndarray):
+            return ((a, grad.reshape(original)),)
+
+        return Tensor(np.squeeze(a.data, axis=axis), parents=(a,), backward=backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self
+        shape = a.shape
+
+        def backward(grad: np.ndarray):
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, index, grad)
+            return ((a, full),)
+
+        return Tensor(a.data[index], parents=(a,), backward=backward)

@@ -1,0 +1,103 @@
+"""Terminal visualisation: region heatmaps and training curves.
+
+Pure-text rendering (the environment has no plotting stack); used by the
+examples to show city structure and model output at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .geo import RegionGrid
+
+# Light-to-dark ramp for text heatmaps.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    grid: RegionGrid,
+    values: np.ndarray,
+    title: str = "",
+    legend: bool = True,
+) -> str:
+    """Render per-region values as a character heatmap.
+
+    ``values`` has one entry per region; rows print north-up (row 0 at the
+    bottom, like map coordinates).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (grid.num_regions,):
+        raise ValueError(
+            f"need one value per region ({grid.num_regions}), got {values.shape}"
+        )
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo if hi > lo else 1.0
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(grid.rows - 1, -1, -1):
+        cells = []
+        for col in range(grid.cols):
+            v = values[grid.region_id(row, col)]
+            level = int((v - lo) / span * (len(_RAMP) - 1))
+            cells.append(_RAMP[level] * 2)
+        lines.append("".join(cells))
+    if legend:
+        lines.append(f"[{_RAMP[0]}]={lo:.3g}  [{_RAMP[-1]}]={hi:.3g}")
+    return "\n".join(lines)
+
+
+def categorical_map(
+    grid: RegionGrid,
+    labels: np.ndarray,
+    symbols: Optional[Dict[int, str]] = None,
+    title: str = "",
+) -> str:
+    """Render integer region labels (e.g. archetypes) as a character map."""
+    labels = np.asarray(labels)
+    if labels.shape != (grid.num_regions,):
+        raise ValueError("need one label per region")
+    if symbols is None:
+        alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        symbols = {int(v): alphabet[i % 26] for i, v in enumerate(np.unique(labels))}
+    lines = [title] if title else []
+    for row in range(grid.rows - 1, -1, -1):
+        lines.append(
+            "".join(
+                symbols[int(labels[grid.region_id(row, col)])] * 2
+                for col in range(grid.cols)
+            )
+        )
+    return "\n".join(lines)
+
+
+def loss_curve(
+    losses: Sequence[float], width: int = 60, height: int = 10, title: str = ""
+) -> str:
+    """Render a loss curve as ASCII art (one column per bucket of epochs)."""
+    losses = np.asarray(list(losses), dtype=np.float64)
+    if losses.size == 0:
+        raise ValueError("losses is empty")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+
+    # Downsample epochs to the plot width.
+    buckets = np.array_split(losses, min(width, len(losses)))
+    series = np.array([b.mean() for b in buckets])
+    lo, hi = float(series.min()), float(series.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = ((hi - series) / span * (height - 1)).round().astype(int)
+
+    canvas = [[" "] * len(series) for _ in range(height)]
+    for x, y in enumerate(rows):
+        canvas[y][x] = "*"
+    lines = [title] if title else []
+    lines.append(f"{hi:10.4g} ┐")
+    for r, row in enumerate(canvas):
+        prefix = "           │"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{lo:10.4g} ┘" + f" ({len(losses)} epochs)")
+    return "\n".join(lines)

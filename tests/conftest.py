@@ -1,0 +1,78 @@
+"""Shared fixtures: one tiny simulated city reused across the suite.
+
+Simulation and dataset construction are deterministic in the seed, so
+session scope is safe; tests must not mutate these objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.city import CityConfig, simulate, tiny_dataset
+from repro.data import SiteRecDataset
+
+
+@pytest.fixture(scope="session")
+def sim():
+    """A small but fully populated simulated city-month."""
+    return tiny_dataset(seed=3)
+
+
+@pytest.fixture(scope="session")
+def dataset(sim):
+    return SiteRecDataset.from_simulation(sim)
+
+
+@pytest.fixture(scope="session")
+def split(dataset):
+    return dataset.split(seed=0)
+
+
+@pytest.fixture(scope="session")
+def medium_sim():
+    """A city wide enough for the motivation analyses (Figs. 1-5, Table II).
+
+    The tiny fixture's afternoon order volume is too small for tail
+    statistics like the farthest delivery distance.
+    """
+    return simulate(
+        CityConfig(
+            rows=14,
+            cols=14,
+            num_days=7,
+            num_couriers=220,
+            seed=7,
+            sparsity=0.7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_sim():
+    """An even smaller city for the expensive model-training tests."""
+    return simulate(
+        CityConfig(
+            rows=5,
+            cols=5,
+            num_days=3,
+            num_couriers=40,
+            seed=5,
+            base_population=2000.0,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_dataset(micro_sim):
+    return SiteRecDataset.from_simulation(micro_sim)
+
+
+@pytest.fixture(scope="session")
+def micro_split(micro_dataset):
+    return micro_dataset.split(seed=1)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,122 @@
+"""Event-driven courier dispatch (the agent-based substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.city import CityConfig, DispatchSimulator, simulate
+from repro.city.couriers import build_fleet
+from repro.city.landuse import synthesize_land_use
+from repro.data.periods import TimePeriod
+
+
+@pytest.fixture(scope="module")
+def agent_sim():
+    return simulate(
+        CityConfig(
+            rows=7, cols=7, num_days=3, num_couriers=45, seed=3,
+            dispatch_mode="agents",
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def formula_sim():
+    return simulate(
+        CityConfig(rows=7, cols=7, num_days=3, num_couriers=45, seed=3)
+    )
+
+
+class TestDispatchMode:
+    def test_config_validates_mode(self):
+        with pytest.raises(ValueError):
+            CityConfig(dispatch_mode="teleport")
+
+    def test_orders_produced(self, agent_sim):
+        assert agent_sim.num_orders > 500
+
+    def test_timestamps_valid(self, agent_sim):
+        for o in agent_sim.orders[:1000]:
+            assert o.created_minute <= o.accepted_minute
+            assert o.accepted_minute <= o.pickup_minute <= o.delivered_minute
+
+    def test_courier_ids_from_fleet(self, agent_sim):
+        fleet_ids = {
+            c for pool in agent_sim.fleet.couriers_by_region for c in pool
+        }
+        assert all(o.courier_id in fleet_ids for o in agent_sim.orders[:500])
+
+    def test_differs_from_formula_mode(self, agent_sim, formula_sim):
+        # Same demand process, different timing process.
+        a = np.mean([o.total_minutes for o in agent_sim.orders])
+        f = np.mean([o.total_minutes for o in formula_sim.orders])
+        assert a != pytest.approx(f, rel=0.01)
+
+    def test_rush_hours_wait_longer_than_morning(self, agent_sim):
+        per = {}
+        for o in agent_sim.orders:
+            per.setdefault(o.period, []).append(o.total_minutes)
+        noon = np.mean(per[TimePeriod.NOON_RUSH])
+        morning = np.mean(per[TimePeriod.MORNING])
+        assert noon > morning
+
+
+class TestDispatchSimulator:
+    @pytest.fixture()
+    def simulator(self):
+        cfg = CityConfig(rows=6, cols=6, num_days=2, num_couriers=30, seed=5)
+        rng = np.random.default_rng(5)
+        land = synthesize_land_use(cfg, rng)
+        fleet = build_fleet(cfg, land, rng)
+        return DispatchSimulator(cfg, land, fleet, np.random.default_rng(0))
+
+    def test_courier_moves_to_customer(self, simulator, formula_sim):
+        order = formula_sim.orders[0]
+        assigned = simulator.assign(order)
+        assert assigned is not None
+        courier = next(
+            c for c in simulator._couriers if c.courier_id == assigned.courier_id
+        )
+        grid = simulator.land.grid
+        cx, cy = grid.from_lonlat(assigned.customer_lon, assigned.customer_lat)
+        assert courier.x == pytest.approx(cx)
+        assert courier.y == pytest.approx(cy)
+        assert courier.available_at > assigned.delivered_minute
+
+    def test_busy_courier_not_double_booked(self, simulator, formula_sim):
+        o1, o2 = formula_sim.orders[0], formula_sim.orders[1]
+        a1 = simulator.assign(o1)
+        a2 = simulator.assign(o2)
+        if a1.courier_id == a2.courier_id:
+            assert a2.pickup_minute >= a1.delivered_minute
+
+    def test_admission_control_rejects_when_saturated(self, simulator, formula_sim):
+        # Saturate every courier far into the future.
+        simulator._available[:] = 1e9
+        for c in simulator._couriers:
+            c.available_at = 1e9
+        assert simulator.assign(formula_sim.orders[0]) is None
+        assert simulator.rejected == 1
+
+    def test_invalid_max_wait(self, simulator):
+        with pytest.raises(ValueError):
+            DispatchSimulator(
+                simulator.config,
+                simulator.land,
+                simulator.fleet,
+                np.random.default_rng(0),
+                max_wait_minutes=0,
+            )
+
+    def test_utilisation_bounds(self, simulator):
+        u = simulator.utilisation(12 * 60.0)
+        assert 0.0 <= u <= 1.0
+
+    def test_on_shift_headcount_matches_schedule(self, simulator):
+        from repro.city.couriers import ACTIVE_FRACTION
+
+        n = len(simulator._couriers)
+        for period in TimePeriod:
+            start_hour = period.hours[0]
+            mask = simulator._on_shift_mask(start_hour * 60.0)
+            expected = max(int(round(ACTIVE_FRACTION[period] * n)), 1)
+            assert mask.sum() == expected

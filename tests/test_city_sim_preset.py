@@ -1,0 +1,62 @@
+"""The simulation-dataset preset: customer-location resynthesis."""
+
+import numpy as np
+import pytest
+
+from repro.city import real_world_dataset, simulation_dataset
+from repro.city.simulator import _resynthesize_customer_locations
+
+
+@pytest.fixture(scope="module")
+def noisy():
+    return simulation_dataset(seed=11, scale=0.5)
+
+
+class TestResynthesis:
+    def test_distances_preserved(self, noisy):
+        # distance_m is kept verbatim; only the location moved.
+        grid = noisy.land.grid
+        for o in noisy.orders[:300]:
+            sx, sy = grid.from_lonlat(o.store_lon, o.store_lat)
+            cx, cy = grid.from_lonlat(o.customer_lon, o.customer_lat)
+            actual = np.hypot(sx - cx, sy - cy)
+            # Clamping at the city border may shorten the leg; never longer.
+            assert actual <= o.distance_m + 1.0
+
+    def test_customer_region_matches_location(self, noisy):
+        grid = noisy.land.grid
+        for o in noisy.orders[:300]:
+            cx, cy = grid.from_lonlat(o.customer_lon, o.customer_lat)
+            assert grid.region_of_point(cx, cy) == o.customer_region
+
+    def test_store_side_untouched(self):
+        clean = real_world_dataset(seed=7, scale=0.5)
+        rng = np.random.default_rng(0)
+        rewritten = _resynthesize_customer_locations(clean, rng)
+        assert len(rewritten) == clean.num_orders
+        for a, b in zip(clean.orders[:100], rewritten[:100]):
+            assert a.store_id == b.store_id
+            assert a.store_region == b.store_region
+            assert a.created_minute == b.created_minute
+            assert a.delivered_minute == b.delivered_minute
+            assert a.distance_m == b.distance_m
+
+    def test_customer_regions_scrambled(self):
+        clean = real_world_dataset(seed=7, scale=0.5)
+        rng = np.random.default_rng(0)
+        rewritten = _resynthesize_customer_locations(clean, rng)
+        moved = sum(
+            a.customer_region != b.customer_region
+            for a, b in zip(clean.orders, rewritten)
+        )
+        assert moved / len(rewritten) > 0.3
+
+    def test_preset_is_sparser_than_real(self, noisy):
+        clean = real_world_dataset(seed=7, scale=0.5)
+        clean_density = clean.num_orders / (
+            clean.land.num_regions * clean.config.num_days
+        )
+        noisy_density = noisy.num_orders / (
+            noisy.land.num_regions * noisy.config.num_days
+        )
+        assert noisy_density < clean_density

@@ -1,0 +1,208 @@
+"""The synthetic city: land use, stores, fleet, orders and presets."""
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    ACTIVE_FRACTION,
+    ARCHETYPES,
+    POI_TYPES,
+    CityConfig,
+    assign_archetypes,
+    build_fleet,
+    default_store_types,
+    place_stores,
+    simulate,
+    simulation_dataset,
+    synthesize_land_use,
+    tiny_dataset,
+)
+from repro.data.periods import NUM_PERIODS, TimePeriod
+from repro.geo import RegionGrid
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = CityConfig()
+        assert cfg.num_store_types == 14
+        assert "light_meal" in cfg.type_names
+
+    def test_type_index(self):
+        cfg = CityConfig()
+        assert cfg.type_names[cfg.type_index("juice")] == "juice"
+        with pytest.raises(KeyError):
+            cfg.type_index("nonexistent")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rows": 2},
+            {"num_days": 0},
+            {"store_types": []},
+            {"sparsity": 0.0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            CityConfig(**kwargs)
+
+    def test_store_type_profiles_sized(self):
+        for t in default_store_types():
+            assert len(t.period_popularity) == NUM_PERIODS
+            assert len(t.archetype_affinity) == len(ARCHETYPES)
+
+
+class TestLandUse:
+    @pytest.fixture(scope="class")
+    def land(self):
+        cfg = CityConfig(rows=10, cols=10, seed=1)
+        return synthesize_land_use(cfg, np.random.default_rng(1))
+
+    def test_shapes(self, land):
+        n = land.num_regions
+        assert land.poi_counts.shape == (n, len(POI_TYPES))
+        assert land.population.shape == (n, NUM_PERIODS)
+        assert land.archetype.shape == (n,)
+
+    def test_archetypes_in_range(self, land):
+        assert land.archetype.min() >= 0
+        assert land.archetype.max() < len(ARCHETYPES)
+
+    def test_center_denser_than_edge(self, land):
+        center = land.grid.center_region()
+        corner = 0
+        assert land.poi_counts[center].sum() >= land.poi_counts[corner].sum()
+
+    def test_suburbs_on_periphery(self):
+        grid = RegionGrid(12, 12)
+        arch = assign_archetypes(grid, np.random.default_rng(0))
+        suburb_idx = ARCHETYPES.index("suburb")
+        dists = np.array([grid.distance_from_center(r) for r in range(grid.num_regions)])
+        suburb_mean = dists[arch == suburb_idx].mean()
+        other_mean = dists[arch != suburb_idx].mean()
+        assert suburb_mean > other_mean
+
+    def test_regions_of_archetype(self, land):
+        total = sum(len(land.regions_of_archetype(a)) for a in ARCHETYPES)
+        assert total == land.num_regions
+
+
+class TestStores:
+    def test_placement_within_region(self, sim):
+        for s in sim.stores[:200]:
+            region = sim.land.grid.region_of_point(s.x, s.y)
+            assert region == s.record.region
+
+    def test_unique_ids(self, sim):
+        ids = [s.record.store_id for s in sim.stores]
+        assert len(set(ids)) == len(ids)
+
+    def test_counts_match(self, sim):
+        counts = sim.store_type_counts()
+        assert counts.sum() == len(sim.stores)
+
+    def test_positive_quality(self, sim):
+        assert all(s.quality > 0 for s in sim.stores)
+
+
+class TestFleet:
+    @pytest.fixture(scope="class")
+    def fleet(self, sim):
+        return sim.fleet
+
+    def test_supply_totals_match_schedule(self, fleet, sim):
+        for period in TimePeriod:
+            expected = sim.config.num_couriers * ACTIVE_FRACTION[period]
+            assert fleet.supply[:, int(period)].sum() == pytest.approx(expected)
+
+    def test_rush_hour_ratio_lower(self, fleet):
+        means = fleet.ratio.mean(axis=0)
+        assert means[int(TimePeriod.NOON_RUSH)] < means[int(TimePeriod.AFTERNOON)]
+        assert means[int(TimePeriod.EVENING_RUSH)] < means[int(TimePeriod.AFTERNOON)]
+
+    def test_congestion_decreases_with_ratio(self, fleet):
+        # Pick region/period pairs with different ratios.
+        flat = fleet.ratio.ravel()
+        low = np.unravel_index(flat.argmin(), fleet.ratio.shape)
+        high = np.unravel_index(flat.argmax(), fleet.ratio.shape)
+        c_low = fleet.congestion(low[0], TimePeriod(low[1]))
+        c_high = fleet.congestion(high[0], TimePeriod(high[1]))
+        assert c_low > c_high
+
+    def test_delivery_time_increases_with_distance(self, fleet):
+        region = 0
+        t1 = fleet.delivery_minutes(region, 1000, TimePeriod.AFTERNOON)
+        t2 = fleet.delivery_minutes(region, 4000, TimePeriod.AFTERNOON)
+        assert t2 > t1
+
+    def test_scope_clipped(self, fleet, sim):
+        scopes = fleet.scope_matrix()
+        assert scopes.min() >= sim.config.min_scope_m
+        assert scopes.max() <= sim.config.max_scope_m
+
+    def test_rush_scope_smaller(self, fleet):
+        scopes = fleet.scope_matrix().mean(axis=0)
+        assert scopes[int(TimePeriod.NOON_RUSH)] < scopes[int(TimePeriod.AFTERNOON)]
+
+    def test_sample_courier_returns_known_id(self, fleet, rng):
+        courier = fleet.sample_courier(0, rng)
+        assert courier.startswith("C")
+
+
+class TestOrders:
+    def test_orders_nonempty(self, sim):
+        assert sim.num_orders > 1000
+
+    def test_timestamps_ordered(self, sim):
+        for o in sim.orders[:500]:
+            assert o.created_minute <= o.accepted_minute <= o.pickup_minute
+            assert o.pickup_minute <= o.delivered_minute
+
+    def test_period_consistent_with_creation(self, sim):
+        for o in sim.orders[:500]:
+            assert o.period == TimePeriod.from_hour(o.hour)
+
+    def test_regions_valid(self, sim):
+        n = sim.land.num_regions
+        for o in sim.orders[:500]:
+            assert 0 <= o.store_region < n
+            assert 0 <= o.customer_region < n
+
+    def test_store_region_matches_registry(self, sim):
+        by_id = {s.record.store_id: s.record.region for s in sim.stores}
+        for o in sim.orders[:500]:
+            assert by_id[o.store_id] == o.store_region
+
+    def test_rush_hours_busiest(self, sim):
+        counts = np.zeros(NUM_PERIODS)
+        for o in sim.orders:
+            counts[int(o.period)] += 1
+        per_hour = counts / [p.duration_hours for p in TimePeriod]
+        assert per_hour[int(TimePeriod.NOON_RUSH)] > per_hour[int(TimePeriod.AFTERNOON)]
+
+    def test_reproducible_given_seed(self):
+        a = tiny_dataset(seed=9)
+        b = tiny_dataset(seed=9)
+        assert a.num_orders == b.num_orders
+        assert a.orders[0].order_id == b.orders[0].order_id
+        assert a.orders[-1].distance_m == b.orders[-1].distance_m
+
+    def test_different_seeds_differ(self):
+        a = tiny_dataset(seed=9)
+        b = tiny_dataset(seed=10)
+        assert a.num_orders != b.num_orders
+
+
+class TestPresets:
+    def test_summary_mentions_counts(self, sim):
+        text = sim.summary()
+        assert "orders" in text and "stores" in text
+
+    def test_simulation_dataset_sparser(self, sim):
+        noisy = simulation_dataset(scale=0.6)
+        # Same-ish area but much lower order volume per region-day.
+        density_real = sim.num_orders / (sim.land.num_regions * sim.config.num_days)
+        density_sim = noisy.num_orders / (
+            noisy.land.num_regions * noisy.config.num_days
+        )
+        assert density_sim < density_real

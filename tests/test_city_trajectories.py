@@ -1,0 +1,52 @@
+"""Courier trajectory synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.city import iter_trajectories, trajectory_for_order
+
+
+class TestTrajectoryForOrder:
+    @pytest.fixture()
+    def order(self, sim):
+        return sim.orders[0]
+
+    def test_endpoints_near_store_and_customer(self, sim, order):
+        points = trajectory_for_order(order, sim.land.grid, jitter_m=0.0)
+        first, last = points[0], points[-1]
+        assert first.lon == pytest.approx(order.store_lon, abs=1e-6)
+        assert first.lat == pytest.approx(order.store_lat, abs=1e-6)
+        assert last.lon == pytest.approx(order.customer_lon, abs=1e-6)
+        assert last.lat == pytest.approx(order.customer_lat, abs=1e-6)
+
+    def test_timestamps_span_delivery(self, sim, order):
+        points = trajectory_for_order(order, sim.land.grid)
+        assert points[0].minute == pytest.approx(order.pickup_minute)
+        assert points[-1].minute == pytest.approx(order.delivered_minute)
+        minutes = [p.minute for p in points]
+        assert minutes == sorted(minutes)
+
+    def test_upload_interval_respected(self, sim, order):
+        points = trajectory_for_order(order, sim.land.grid, interval_s=20.0)
+        expected = max(int(order.delivery_minutes * 60 / 20.0), 1) + 1
+        assert len(points) == expected
+
+    def test_courier_id_propagates(self, sim, order):
+        points = trajectory_for_order(order, sim.land.grid)
+        assert all(p.courier_id == order.courier_id for p in points)
+
+    def test_invalid_interval(self, sim, order):
+        with pytest.raises(ValueError):
+            trajectory_for_order(order, sim.land.grid, interval_s=0.0)
+
+
+class TestIterTrajectories:
+    def test_streams_all_orders(self, sim):
+        orders = sim.orders[:3]
+        points = list(iter_trajectories(orders, sim.land.grid, interval_s=60.0))
+        couriers = {p.courier_id for p in points}
+        assert couriers == {o.courier_id for o in orders}
+
+    def test_lazy(self, sim):
+        gen = iter_trajectories(sim.orders, sim.land.grid)
+        assert next(gen) is not None

@@ -1,0 +1,120 @@
+"""Courier capacity model (Section III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CourierCapacityModel, geographic_weights
+from repro.data import TimePeriod
+from repro.graphs import CourierMobilityMultiGraph, RegionGeographicalGraph
+from repro.nn import init
+from repro.optim import Adam
+
+
+@pytest.fixture(scope="module")
+def geo(dataset):
+    return RegionGeographicalGraph.from_grid(dataset.grid)
+
+
+@pytest.fixture(scope="module")
+def mobility(dataset):
+    return CourierMobilityMultiGraph.from_aggregates(dataset.aggregates, min_count=2)
+
+
+@pytest.fixture()
+def model(geo):
+    init.seed(0)
+    return CourierCapacityModel(geo, embedding_dim=8, num_layers=2)
+
+
+class TestGeographicWeights:
+    def test_normalised_per_target(self, geo):
+        w = geographic_weights(geo)
+        sums = np.zeros(geo.num_regions)
+        np.add.at(sums, geo.dst, w)
+        present = np.bincount(geo.dst, minlength=geo.num_regions) > 0
+        assert np.allclose(sums[present], 1.0)
+
+    def test_default_prefers_near(self, geo):
+        w = geographic_weights(geo, mode="softmax_neg_distance")
+        # For one target with mixed 500/707 m neighbours, nearer ones weigh more.
+        target = geo.dst[0]
+        mask = geo.dst == target
+        dists, weights = geo.distance[mask], w[mask]
+        assert weights[np.argmin(dists)] > weights[np.argmax(dists)]
+
+    def test_literal_prefers_far(self, geo):
+        w = geographic_weights(geo, mode="literal")
+        target = geo.dst[0]
+        mask = geo.dst == target
+        dists, weights = geo.distance[mask], w[mask]
+        assert weights[np.argmax(dists)] > weights[np.argmin(dists)]
+
+    def test_unknown_mode(self, geo):
+        with pytest.raises(ValueError):
+            geographic_weights(geo, mode="bogus")
+
+
+class TestCapacityModel:
+    def test_region_embeddings_shape(self, model, mobility):
+        b = model.region_embeddings(mobility.subgraph(TimePeriod.NOON_RUSH))
+        assert b.shape == (model.num_regions, model.embedding_dim)
+
+    def test_edge_embedding_dim(self, model, mobility):
+        b = model.region_embeddings(mobility.subgraph(TimePeriod.MORNING))
+        em = model.edge_embeddings(b, np.array([0, 1]), np.array([2, 3]))
+        assert em.shape == (2, model.edge_embedding_dim)
+        assert model.edge_embedding_dim == 2 * model.embedding_dim
+
+    def test_edge_embedding_order_is_dst_then_src(self, model, mobility):
+        b = model.region_embeddings(mobility.subgraph(TimePeriod.MORNING))
+        em = model.edge_embeddings(b, np.array([0]), np.array([1]))
+        d = model.embedding_dim
+        assert np.allclose(em.data[0, :d], b.data[1])
+        assert np.allclose(em.data[0, d:], b.data[0])
+
+    def test_reconstruction_loss_scalar(self, model, mobility):
+        loss = model.reconstruction_loss(mobility.subgraph(TimePeriod.NOON_RUSH))
+        assert loss.data.shape == ()
+        assert float(loss.data) >= 0
+
+    def test_loss_decreases_with_training(self, model, mobility):
+        sg = mobility.subgraph(TimePeriod.NOON_RUSH)
+        opt = Adam(model.parameters(), lr=1e-2)
+        first = None
+        for _ in range(40):
+            opt.zero_grad()
+            loss = model.reconstruction_loss(sg)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = float(loss.data)
+        assert float(loss.data) < 0.7 * first
+
+    def test_periods_give_different_embeddings(self, model, mobility):
+        b1 = model.region_embeddings(mobility.subgraph(TimePeriod.NOON_RUSH))
+        b2 = model.region_embeddings(mobility.subgraph(TimePeriod.AFTERNOON))
+        assert not np.allclose(b1.data, b2.data)
+
+    def test_empty_mobility_subgraph_ok(self, model):
+        from repro.graphs.mobility import MobilitySubgraph
+
+        empty = MobilitySubgraph(
+            period=TimePeriod.NIGHT,
+            src=np.zeros(0, dtype=np.int64),
+            dst=np.zeros(0, dtype=np.int64),
+            delivery_time=np.zeros(0),
+            count=np.zeros(0, dtype=np.int64),
+        )
+        b = model.region_embeddings(empty)
+        assert b.shape == (model.num_regions, model.embedding_dim)
+        assert float(model.reconstruction_loss(empty).data) == 0.0
+
+    def test_invalid_layers(self, geo):
+        with pytest.raises(ValueError):
+            CourierCapacityModel(geo, num_layers=0)
+
+    def test_gradients_reach_embeddings(self, model, mobility):
+        loss = model.reconstruction_loss(mobility.subgraph(TimePeriod.MORNING))
+        loss.backward()
+        assert model.region_embedding.weight.grad is not None
+        assert model.attn_vector.grad is not None

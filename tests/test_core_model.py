@@ -1,0 +1,145 @@
+"""O2SiteRec facade: config, forward, loss, ablation switches."""
+
+import numpy as np
+import pytest
+
+from repro.core import O2SiteRec, O2SiteRecConfig, paper_hyperparams
+from repro.nn import init
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return O2SiteRecConfig(capacity_dim=6, embedding_dim=20, node_heads=5)
+
+
+@pytest.fixture(scope="module")
+def model(micro_dataset, micro_split, small_config):
+    init.seed(1)
+    return O2SiteRec(micro_dataset, micro_split, small_config)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = O2SiteRecConfig()
+        assert cfg.embedding_dim % cfg.node_heads == 0
+
+    def test_paper_hyperparams(self):
+        cfg = paper_hyperparams()
+        assert cfg.capacity_dim == 20
+        assert cfg.embedding_dim == 90
+        assert cfg.node_heads == 5
+        assert cfg.time_heads == 2
+        assert cfg.beta == 0.2
+        assert cfg.num_layers == 2
+
+    def test_invalid_heads(self):
+        with pytest.raises(ValueError):
+            O2SiteRecConfig(embedding_dim=41, node_heads=5)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            O2SiteRecConfig(beta=-0.1)
+
+    def test_ablation_constructors(self):
+        cfg = O2SiteRecConfig()
+        assert not cfg.without_capacity().use_capacity
+        wococu = cfg.without_capacity_and_preferences()
+        assert not wococu.use_capacity and not wococu.use_preferences
+        assert not cfg.without_node_attention().node_attention
+        assert not cfg.without_time_attention().time_attention
+
+
+class TestForward:
+    def test_prediction_shape(self, model, micro_split):
+        pairs = micro_split.train_pairs[:10]
+        out = model.forward(pairs)
+        assert out.shape == (10,)
+
+    def test_predict_is_deterministic_in_eval(self, model, micro_split):
+        pairs = micro_split.test_pairs[:8]
+        a = model.predict(pairs)
+        b = model.predict(pairs)
+        assert np.allclose(a, b)
+
+    def test_predict_restores_training_mode(self, model, micro_split):
+        model.train()
+        model.predict(micro_split.test_pairs[:2])
+        assert model.training
+
+    def test_unknown_region_raises(self, model, micro_dataset):
+        bad = np.array([[10**6, 0]])
+        with pytest.raises(KeyError):
+            model.forward(bad)
+
+    def test_loss_components(self, model, micro_dataset, micro_split):
+        pairs = micro_split.train_pairs[:20]
+        targets = micro_dataset.pair_targets(pairs)
+        loss, o2, o1 = model.loss(pairs, targets)
+        assert float(loss.data) == pytest.approx(o2 + model.config.beta * o1)
+        assert o1 > 0  # capacity reconstruction active
+
+    def test_gradients_flow_everywhere(self, model, micro_dataset, micro_split):
+        model.zero_grad()
+        pairs = micro_split.train_pairs[:20]
+        loss, _, _ = model.loss(pairs, micro_dataset.pair_targets(pairs))
+        loss.backward()
+        with_grad = sum(1 for p in model.parameters() if p.grad is not None)
+        assert with_grad / len(model.parameters()) > 0.9
+
+
+class TestAblationModels:
+    def test_without_capacity_has_no_capacity_model(
+        self, micro_dataset, micro_split, small_config
+    ):
+        model = O2SiteRec(
+            micro_dataset, micro_split, small_config.without_capacity()
+        )
+        assert model.capacity_model is None
+        pairs = micro_split.train_pairs[:5]
+        loss, o2, o1 = model.loss(pairs, micro_dataset.pair_targets(pairs))
+        assert o1 == 0.0
+
+    def test_without_preferences_still_predicts(
+        self, micro_dataset, micro_split, small_config
+    ):
+        model = O2SiteRec(
+            micro_dataset,
+            micro_split,
+            small_config.without_capacity_and_preferences(),
+        )
+        out = model.predict(micro_split.test_pairs[:5])
+        assert out.shape == (5,)
+
+    def test_without_node_attention(self, micro_dataset, micro_split, small_config):
+        model = O2SiteRec(
+            micro_dataset, micro_split, small_config.without_node_attention()
+        )
+        assert model.predict(micro_split.test_pairs[:3]).shape == (3,)
+
+    def test_without_time_attention(self, micro_dataset, micro_split, small_config):
+        model = O2SiteRec(
+            micro_dataset, micro_split, small_config.without_time_attention()
+        )
+        assert model.predict(micro_split.test_pairs[:3]).shape == (3,)
+
+    def test_variants_differ_from_full(
+        self, model, micro_dataset, micro_split, small_config
+    ):
+        init.seed(1)
+        variant = O2SiteRec(
+            micro_dataset, micro_split, small_config.without_time_attention()
+        )
+        pairs = micro_split.test_pairs[:5]
+        assert not np.allclose(model.predict(pairs), variant.predict(pairs))
+
+
+class TestStateDict:
+    def test_roundtrip(self, micro_dataset, micro_split, small_config):
+        init.seed(2)
+        a = O2SiteRec(micro_dataset, micro_split, small_config)
+        init.seed(3)
+        b = O2SiteRec(micro_dataset, micro_split, small_config)
+        pairs = micro_split.test_pairs[:5]
+        assert not np.allclose(a.predict(pairs), b.predict(pairs))
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.predict(pairs), b.predict(pairs))

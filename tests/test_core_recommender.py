@@ -1,0 +1,90 @@
+"""HeteroRecommender internals: time attention, propagation, dimensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.recommender import HeteroRecommender, _TimeSemanticsAttention
+from repro.graphs import build_hetero_multigraph
+from repro.nn import init
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def graph(micro_dataset, micro_split):
+    return build_hetero_multigraph(micro_dataset, split=micro_split)
+
+
+@pytest.fixture()
+def recommender(graph):
+    init.seed(0)
+    return HeteroRecommender(graph, d2=20, node_heads=5, time_heads=2)
+
+
+class TestTimeSemanticsAttention:
+    def test_output_shape(self):
+        init.seed(1)
+        att = _TimeSemanticsAttention(dim=12, num_heads=2)
+        stacked = Tensor(np.random.default_rng(0).normal(size=(5, 7, 12)))
+        out = att(stacked)
+        assert out.shape == (7, 12)
+
+    def test_head_divisibility(self):
+        with pytest.raises(ValueError):
+            _TimeSemanticsAttention(dim=10, num_heads=3)
+
+    def test_constant_periods_equal_any_period(self):
+        init.seed(1)
+        att = _TimeSemanticsAttention(dim=8, num_heads=2)
+        row = np.random.default_rng(2).normal(size=(3, 8))
+        stacked = Tensor(np.broadcast_to(row, (5, 3, 8)).copy())
+        out = att(stacked).data
+        single = att(Tensor(row[None].repeat(5, axis=0))).data
+        assert np.allclose(out, single)
+
+    def test_gradients_flow(self):
+        init.seed(1)
+        att = _TimeSemanticsAttention(dim=8, num_heads=2)
+        stacked = Tensor(
+            np.random.default_rng(3).normal(size=(5, 4, 8)), requires_grad=True
+        )
+        att(stacked).sum().backward()
+        assert stacked.grad is not None
+        assert att.key_proj.weight.grad is not None
+
+
+class TestRecommender:
+    def test_head_divisibility_enforced(self, graph):
+        with pytest.raises(ValueError):
+            HeteroRecommender(graph, d2=21, node_heads=5)
+
+    def test_forward_shape(self, recommender, graph):
+        k = 7
+        s_idx = np.arange(k) % graph.num_store_nodes
+        types = np.arange(k) % graph.num_types
+        out = recommender(s_idx, types)
+        assert out.shape == (k,)
+
+    def test_same_region_different_types_differ(self, recommender, graph):
+        recommender.eval()
+        s_idx = np.zeros(2, dtype=np.int64)
+        types = np.array([0, 1])
+        out = recommender(s_idx, types).numpy()
+        assert out[0] != out[1]
+
+    def test_dense_commercial_lookup(self, recommender, graph):
+        dense = recommender._pair_commercial
+        assert dense.shape == (graph.num_store_nodes, graph.num_types, 2)
+        # An existing S-A edge's attributes appear at its dense slot.
+        s, a = int(graph.sa_src_s[0]), int(graph.sa_dst_a[0])
+        assert np.allclose(dense[s, a], graph.sa_attr[0, :2])
+
+    def test_without_preferences_ignores_su_edges(self, graph):
+        init.seed(3)
+        model = HeteroRecommender(
+            graph, d2=20, node_heads=5, use_preferences=False
+        )
+        model.eval()
+        s_idx = np.arange(3, dtype=np.int64)
+        types = np.zeros(3, dtype=np.int64)
+        out = model(s_idx, types)
+        assert out.shape == (3,)

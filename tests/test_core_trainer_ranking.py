@@ -1,0 +1,128 @@
+"""Trainer and top-k recommendation API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    O2SiteRec,
+    O2SiteRecConfig,
+    Recommendation,
+    TrainConfig,
+    Trainer,
+    paper_train_config,
+    recommend_sites,
+)
+from repro.nn import init
+
+
+@pytest.fixture(scope="module")
+def trained(micro_dataset, micro_split):
+    init.seed(0)
+    model = O2SiteRec(
+        micro_dataset,
+        micro_split,
+        O2SiteRecConfig(capacity_dim=6, embedding_dim=20),
+    )
+    trainer = Trainer(model, TrainConfig(epochs=12, lr=5e-3, patience=50))
+    result = trainer.fit(
+        micro_split.train_pairs, micro_dataset.pair_targets(micro_split.train_pairs)
+    )
+    return model, result
+
+
+class TestTrainer:
+    def test_loss_decreases(self, trained):
+        _, result = trained
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_loss_curves_recorded(self, trained):
+        _, result = trained
+        assert len(result.train_losses) == len(result.validation_losses)
+        assert result.best_validation <= max(result.validation_losses)
+
+    def test_early_stopping(self, micro_dataset, micro_split):
+        model = O2SiteRec(
+            micro_dataset,
+            micro_split,
+            O2SiteRecConfig(capacity_dim=6, embedding_dim=20),
+        )
+        config = TrainConfig(epochs=50, lr=0.0 + 1e-9, patience=2, min_epochs=1)
+        result = Trainer(model, config).fit(
+            micro_split.train_pairs,
+            micro_dataset.pair_targets(micro_split.train_pairs),
+        )
+        assert result.stopped_epoch < 50  # lr ~ 0: no progress, stops early
+
+    def test_minibatch_mode(self, micro_dataset, micro_split):
+        model = O2SiteRec(
+            micro_dataset,
+            micro_split,
+            O2SiteRecConfig(capacity_dim=6, embedding_dim=20),
+        )
+        config = TrainConfig(epochs=2, lr=5e-3, batch_size=32)
+        result = Trainer(model, config).fit(
+            micro_split.train_pairs,
+            micro_dataset.pair_targets(micro_split.train_pairs),
+        )
+        assert len(result.train_losses) == 2
+
+    def test_input_validation(self, micro_dataset, micro_split):
+        model = O2SiteRec(
+            micro_dataset,
+            micro_split,
+            O2SiteRecConfig(capacity_dim=6, embedding_dim=20),
+        )
+        trainer = Trainer(model, TrainConfig(epochs=1))
+        with pytest.raises(ValueError):
+            trainer.fit(micro_split.train_pairs[:3], np.zeros(2))
+        with pytest.raises(ValueError):
+            trainer.fit(micro_split.train_pairs[:1], np.zeros(1))
+
+    def test_paper_train_config(self):
+        cfg = paper_train_config()
+        assert cfg.lr == 1e-4
+        assert cfg.batch_size == 128
+
+
+class TestRecommendSites:
+    def test_returns_top_k_sorted(self, trained, micro_dataset, micro_split):
+        model, _ = trained
+        candidates = micro_split.test_regions_for_type(0)
+        recs = recommend_sites(
+            model, 0, candidates, k=3, target_scale=micro_dataset.target_scale
+        )
+        assert len(recs) == min(3, len(candidates))
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_denormalises(self, trained, micro_dataset, micro_split):
+        model, _ = trained
+        recs = recommend_sites(
+            model,
+            0,
+            micro_split.test_regions_for_type(0),
+            k=1,
+            target_scale=micro_dataset.target_scale,
+        )
+        assert recs[0].predicted_orders == pytest.approx(
+            recs[0].score * micro_dataset.target_scale
+        )
+
+    def test_k_larger_than_candidates(self, trained, micro_split):
+        model, _ = trained
+        candidates = micro_split.test_regions_for_type(0)[:2]
+        recs = recommend_sites(model, 0, candidates, k=10)
+        assert len(recs) == 2
+
+    def test_validation(self, trained):
+        model, _ = trained
+        with pytest.raises(ValueError):
+            recommend_sites(model, 0, [], k=3)
+        with pytest.raises(ValueError):
+            recommend_sites(model, 0, [1, 2], k=0)
+
+    def test_recommendation_fields(self, trained, micro_split):
+        model, _ = trained
+        rec = recommend_sites(model, 2, micro_split.test_regions_for_type(2), k=1)[0]
+        assert isinstance(rec, Recommendation)
+        assert rec.store_type == 2

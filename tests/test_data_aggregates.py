@@ -1,0 +1,104 @@
+"""Order-log aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.data import OrderAggregates, TimePeriod
+
+
+@pytest.fixture(scope="module")
+def agg(sim):
+    return OrderAggregates.from_orders(
+        sim.orders, sim.land.num_regions, sim.config.num_store_types
+    )
+
+
+class TestCounts:
+    def test_totals_consistent(self, agg, sim):
+        assert agg.counts_sa.sum() == sim.num_orders
+        assert agg.counts_sat.sum() == sim.num_orders
+        assert agg.counts_uat.sum() == sim.num_orders
+
+    def test_sat_marginalises_to_sa(self, agg):
+        assert np.allclose(agg.counts_sat.sum(axis=2), agg.counts_sa)
+
+    def test_manual_recount_one_cell(self, agg, sim):
+        o = sim.orders[0]
+        manual = sum(
+            1
+            for x in sim.orders
+            if x.store_region == o.store_region and x.store_type == o.store_type
+        )
+        assert agg.counts_sa[o.store_region, o.store_type] == manual
+
+
+class TestPairStats:
+    def test_counts_match_orders(self, agg, sim):
+        total = sum(
+            stats.count for period in agg.pair_stats for stats in period.values()
+        )
+        assert total == sim.num_orders
+
+    def test_mean_distance_positive(self, agg):
+        for period_stats in agg.pair_stats:
+            for stats in period_stats.values():
+                assert stats.mean_distance > 0
+                assert stats.mean_delivery > 0
+
+    def test_empty_pairstats_zero_means(self):
+        from repro.data import PairStats
+
+        stats = PairStats()
+        assert stats.mean_distance == 0.0
+        assert stats.mean_delivery == 0.0
+
+
+class TestDistanceStats:
+    def test_farthest_ge_mean(self, agg):
+        active = agg.total_orders_s > 0
+        assert np.all(
+            agg.farthest_distance[active] >= agg.mean_distance[active] - 1e-9
+        )
+
+    def test_inactive_zero(self, agg):
+        inactive = agg.total_orders_s == 0
+        assert np.all(agg.mean_distance[inactive] == 0)
+
+
+class TestNodeSets:
+    def test_store_regions_have_stores(self, agg, sim):
+        counts = sim.store_type_counts()
+        for r in agg.store_regions(counts):
+            assert counts[r].sum() > 0
+
+    def test_customer_regions_have_orders(self, agg):
+        for r in agg.customer_regions():
+            assert agg.counts_uat[r].sum() > 0
+
+
+class TestMobilityEdges:
+    def test_edges_match_pair_stats(self, agg):
+        edges = agg.mobility_edges(TimePeriod.NOON_RUSH, min_count=1)
+        assert len(edges) == len(agg.pair_stats[int(TimePeriod.NOON_RUSH)])
+
+    def test_min_count_filters(self, agg):
+        all_edges = agg.mobility_edges(TimePeriod.NOON_RUSH, min_count=1)
+        filtered = agg.mobility_edges(TimePeriod.NOON_RUSH, min_count=3)
+        assert len(filtered) <= len(all_edges)
+        assert all(e[3] >= 3 for e in filtered)
+
+
+class TestAdaptionFeatures:
+    def test_neighborhood_preferences_superset(self, agg, sim):
+        prefs = agg.neighborhood_preferences(sim.land.grid, radius_m=2000.0)
+        own = agg.counts_uat.sum(axis=2)
+        assert np.all(prefs >= own - 1e-9)
+
+    def test_radius_zero_equals_own(self, agg, sim):
+        prefs = agg.neighborhood_preferences(sim.land.grid, radius_m=1.0)
+        own = agg.counts_uat.sum(axis=2)
+        assert np.allclose(prefs, own)
+
+    def test_filled_delivery_time_no_gaps(self, agg, sim):
+        dt = agg.filled_region_delivery_time(sim.land.grid)
+        assert np.all(dt > 0)

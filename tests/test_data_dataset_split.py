@@ -1,0 +1,117 @@
+"""SiteRecDataset and the 80/20 interaction split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionSplit, SiteRecDataset, split_interactions
+
+
+class TestDataset:
+    def test_targets_normalised(self, dataset):
+        assert dataset.targets.max() == pytest.approx(1.0)
+        assert dataset.targets.min() >= 0.0
+
+    def test_target_scale_denormalises(self, dataset, sim):
+        raw = dataset.targets * dataset.target_scale
+        assert raw.sum() == pytest.approx(sim.num_orders)
+
+    def test_pair_targets_lookup(self, dataset):
+        pairs = np.array([[int(dataset.store_regions[0]), 0]])
+        value = dataset.pair_targets(pairs)[0]
+        assert value == dataset.targets[dataset.store_regions[0], 0]
+
+    def test_shapes(self, dataset):
+        n, t = dataset.num_regions, dataset.num_types
+        assert dataset.store_counts.shape == (n, t)
+        assert dataset.commercial.shape == (n, t, 2)
+        assert dataset.preference_features.shape == (n, t)
+        assert dataset.delivery_time_feature.shape == (n,)
+        assert dataset.region_features.shape[0] == n
+
+    def test_type_index(self, dataset):
+        assert dataset.type_names[dataset.type_index("fruit")] == "fruit"
+        with pytest.raises(KeyError):
+            dataset.type_index("bogus")
+
+    def test_analysis_archetypes(self, dataset):
+        regions = dataset.analysis.regions_of("suburb")
+        assert all(0 <= r < dataset.num_regions for r in regions)
+
+    def test_analysis_without_archetypes_raises(self):
+        from repro.data import AnalysisHandles
+
+        with pytest.raises(ValueError):
+            AnalysisHandles().regions_of("suburb")
+
+    def test_adaption_features_normalised(self, dataset):
+        assert dataset.preference_features.max() <= 1.0 + 1e-12
+        assert dataset.delivery_time_feature.max() <= 1.0 + 1e-12
+
+
+class TestSplit:
+    def test_disjoint_and_complete(self, dataset, split):
+        train = {tuple(p) for p in split.train_pairs}
+        test = {tuple(p) for p in split.test_pairs}
+        assert not train & test
+        total = len(dataset.store_regions) * dataset.num_types
+        assert len(train) + len(test) == total
+
+    def test_roughly_80_20(self, dataset, split):
+        frac = len(split.train_pairs) / (
+            len(split.train_pairs) + len(split.test_pairs)
+        )
+        assert 0.7 < frac < 0.9
+
+    def test_every_type_has_test_candidates(self, dataset, split):
+        for a in range(dataset.num_types):
+            assert len(split.test_regions_for_type(a)) >= 1
+            assert len(split.train_regions_for_type(a)) >= 1
+
+    def test_deterministic_in_seed(self, dataset):
+        a = dataset.split(seed=3)
+        b = dataset.split(seed=3)
+        assert np.array_equal(a.train_pairs, b.train_pairs)
+
+    def test_different_seeds_differ(self, dataset):
+        a = dataset.split(seed=3)
+        b = dataset.split(seed=4)
+        assert not np.array_equal(a.train_pairs, b.train_pairs)
+
+    def test_validation_rejects_overlap(self):
+        pairs = np.array([[0, 0], [1, 0]])
+        with pytest.raises(ValueError):
+            InteractionSplit(train_pairs=pairs, test_pairs=pairs[:1])
+
+    def test_validation_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            InteractionSplit(
+                train_pairs=np.zeros((2, 3), dtype=int),
+                test_pairs=np.zeros((1, 2), dtype=int),
+            )
+
+    def test_split_interactions_validates(self):
+        with pytest.raises(ValueError):
+            split_interactions(np.array([1]), 2)
+        with pytest.raises(ValueError):
+            split_interactions(np.array([1, 2, 3]), 2, train_frac=1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_regions=st.integers(3, 30),
+    n_types=st.integers(1, 6),
+    frac=st.floats(0.5, 0.9),
+    seed=st.integers(0, 99),
+)
+def test_property_split_invariants(n_regions, n_types, frac, seed):
+    regions = np.arange(100, 100 + n_regions)
+    split = split_interactions(regions, n_types, train_frac=frac, seed=seed)
+    # Per type: disjoint, complete, both folds non-empty.
+    for a in range(n_types):
+        train = set(split.train_regions_for_type(a).tolist())
+        test = set(split.test_regions_for_type(a).tolist())
+        assert not train & test
+        assert train | test == set(regions.tolist())
+        assert train and test

@@ -1,0 +1,90 @@
+"""Commercial features: competitiveness and complementarity (III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    commercial_features,
+    competitiveness,
+    complementarity,
+    cooccurrence_matrix,
+)
+from repro.geo import RegionGrid
+
+
+@pytest.fixture()
+def grid():
+    return RegionGrid(3, 3, cell_size=500.0)
+
+
+class TestCompetitiveness:
+    def test_ratio_definition(self, grid):
+        counts = np.zeros((9, 2))
+        counts[4] = [3, 1]  # centre region: 3 of type 0, 1 of type 1
+        out = competitiveness(counts, grid, radius_m=100.0)  # no neighbours
+        assert out[4, 0] == pytest.approx(3 / 4)
+        assert out[4, 1] == pytest.approx(1 / 4)
+
+    def test_neighbours_dilute(self, grid):
+        counts = np.zeros((9, 2))
+        counts[4] = [2, 0]
+        counts[1] = [0, 2]  # neighbour adds to the denominator
+        out = competitiveness(counts, grid, radius_m=600.0)
+        assert out[4, 0] == pytest.approx(2 / 4)
+
+    def test_empty_region_zero(self, grid):
+        out = competitiveness(np.zeros((9, 3)), grid)
+        assert np.allclose(out, 0.0)
+
+    def test_range(self, grid, rng):
+        counts = rng.poisson(2, size=(9, 4)).astype(float)
+        out = competitiveness(counts, grid)
+        assert np.all(out >= 0) and np.all(out <= 1)
+
+
+class TestCooccurrence:
+    def test_symmetric(self, rng):
+        counts = rng.poisson(1, size=(20, 5)).astype(float)
+        cooc = cooccurrence_matrix(counts)
+        assert np.allclose(cooc, cooc.T)
+
+    def test_counts_regions(self):
+        counts = np.array([[1, 1], [1, 0], [0, 1]], dtype=float)
+        cooc = cooccurrence_matrix(counts)
+        assert cooc[0, 1] == 1  # only the first region has both
+        assert cooc[0, 0] == 2  # type 0 present in two regions
+
+
+class TestComplementarity:
+    def test_shape(self, rng):
+        counts = rng.poisson(2, size=(9, 4)).astype(float)
+        assert complementarity(counts).shape == (9, 4)
+
+    def test_single_type_is_zero(self):
+        counts = np.ones((5, 1))
+        assert np.allclose(complementarity(counts), 0.0)
+
+    def test_never_cooccurring_pair_skipped(self):
+        # Types 0 and 1 never share a region: no contribution either way.
+        counts = np.array([[2, 0], [0, 3]], dtype=float)
+        out = complementarity(counts)
+        assert np.allclose(out, 0.0)
+
+    def test_complementary_pair_signal(self):
+        # Type 1 co-occurs with type 0; regions rich in type 1 (vs average)
+        # get a different score for type 0 than poor regions.
+        counts = np.array([[1, 4], [1, 0], [1, 2]], dtype=float)
+        out = complementarity(counts)
+        assert out[0, 0] != out[1, 0]
+
+
+class TestCommercialFeatures:
+    def test_stacked_and_scaled(self, grid, rng):
+        counts = rng.poisson(2, size=(9, 4)).astype(float)
+        out = commercial_features(counts, grid)
+        assert out.shape == (9, 4, 2)
+        assert np.abs(out).max() <= 1.0 + 1e-12
+
+    def test_all_zero_city(self, grid):
+        out = commercial_features(np.zeros((9, 3)), grid)
+        assert np.allclose(out, 0.0)

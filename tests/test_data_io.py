@@ -1,0 +1,66 @@
+"""CSV persistence for order logs and store registries."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_orders, load_stores, save_orders, save_stores
+
+
+class TestOrderRoundtrip:
+    def test_roundtrip_preserves_records(self, sim, tmp_path):
+        path = tmp_path / "orders.csv"
+        sample = sim.orders[:200]
+        count = save_orders(sample, path)
+        assert count == 200
+        loaded = load_orders(path)
+        assert len(loaded) == 200
+        assert loaded[0] == sample[0]
+        assert loaded[-1] == sample[-1]
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("order_id,store_id\nO1,S1\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_orders(path)
+
+    def test_invalid_record_reports_line(self, sim, tmp_path):
+        path = tmp_path / "orders.csv"
+        save_orders(sim.orders[:2], path)
+        lines = path.read_text().splitlines()
+        # Corrupt the second data row: delivered before pickup.
+        parts = lines[2].split(",")
+        parts[13] = "0.0"  # delivered_minute
+        lines[2] = ",".join(parts)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=":3:"):
+            load_orders(path)
+
+    def test_aggregates_identical_after_roundtrip(self, sim, tmp_path):
+        from repro.data import OrderAggregates
+
+        path = tmp_path / "orders.csv"
+        save_orders(sim.orders, path)
+        loaded = load_orders(path)
+        a = OrderAggregates.from_orders(
+            sim.orders, sim.land.num_regions, sim.config.num_store_types
+        )
+        b = OrderAggregates.from_orders(
+            loaded, sim.land.num_regions, sim.config.num_store_types
+        )
+        assert np.allclose(a.counts_sa, b.counts_sa)
+        assert np.allclose(a.region_delivery_time, b.region_delivery_time)
+
+
+class TestStoreRoundtrip:
+    def test_roundtrip(self, sim, tmp_path):
+        path = tmp_path / "stores.csv"
+        records = [s.record for s in sim.stores[:50]]
+        assert save_stores(records, path) == 50
+        loaded = load_stores(path)
+        assert loaded == records
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("store_id,lon\nS1,121.0\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_stores(path)

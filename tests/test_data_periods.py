@@ -1,0 +1,54 @@
+"""Time periods (the five daily periods of Fig. 3)."""
+
+import pytest
+
+from repro.data import NUM_PERIODS, TimePeriod
+
+
+class TestTimePeriod:
+    def test_five_periods(self):
+        assert NUM_PERIODS == 5
+        assert len(TimePeriod.all()) == 5
+
+    @pytest.mark.parametrize(
+        "hour,expected",
+        [
+            (6, TimePeriod.MORNING),
+            (9, TimePeriod.MORNING),
+            (10, TimePeriod.NOON_RUSH),
+            (13, TimePeriod.NOON_RUSH),
+            (14, TimePeriod.AFTERNOON),
+            (15, TimePeriod.AFTERNOON),
+            (16, TimePeriod.EVENING_RUSH),
+            (19, TimePeriod.EVENING_RUSH),
+            (20, TimePeriod.NIGHT),
+            (23, TimePeriod.NIGHT),
+            (0, TimePeriod.NIGHT),  # overnight folds into NIGHT
+            (5, TimePeriod.NIGHT),
+        ],
+    )
+    def test_from_hour(self, hour, expected):
+        assert TimePeriod.from_hour(hour) == expected
+
+    def test_from_hour_wraps(self):
+        assert TimePeriod.from_hour(25) == TimePeriod.from_hour(1)
+
+    def test_hours_cover_6_to_24(self):
+        covered = set()
+        for p in TimePeriod:
+            start, end = p.hours
+            covered.update(range(start, end))
+        assert covered == set(range(6, 24))
+
+    def test_durations(self):
+        assert TimePeriod.MORNING.duration_hours == 4
+        assert TimePeriod.AFTERNOON.duration_hours == 2
+
+    def test_labels_distinct(self):
+        labels = {p.label for p in TimePeriod}
+        assert len(labels) == 5
+        assert "noon rush" in labels
+
+    def test_int_values_ordered(self):
+        values = [int(p) for p in TimePeriod.all()]
+        assert values == sorted(values) == [0, 1, 2, 3, 4]

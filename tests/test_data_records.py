@@ -1,0 +1,75 @@
+"""Record schemas (Table I) and their validation."""
+
+import pytest
+
+from repro.data import MINUTES_PER_DAY, OrderRecord, StoreRecord, TimePeriod, minute_of
+
+
+def make_order(**overrides):
+    base = dict(
+        order_id="O1",
+        store_id="S1",
+        customer_id="U1",
+        courier_id="C1",
+        store_lon=121.49,
+        store_lat=31.25,
+        customer_lon=121.47,
+        customer_lat=31.24,
+        store_region=3,
+        customer_region=5,
+        created_minute=minute_of(2, 11, 39),
+        accepted_minute=minute_of(2, 11, 40),
+        pickup_minute=minute_of(2, 11, 50),
+        delivered_minute=minute_of(2, 12, 23),
+        distance_m=3780.0,
+        store_type=4,
+    )
+    base.update(overrides)
+    return OrderRecord(**base)
+
+
+class TestOrderRecord:
+    def test_table1_example_fields(self):
+        o = make_order()
+        assert o.day == 2
+        assert o.hour == 11
+        assert o.period == TimePeriod.NOON_RUSH
+
+    def test_delivery_and_total_minutes(self):
+        o = make_order()
+        assert o.delivery_minutes == pytest.approx(33.0)
+        assert o.total_minutes == pytest.approx(44.0)
+
+    def test_rejects_unordered_timestamps(self):
+        with pytest.raises(ValueError):
+            make_order(accepted_minute=minute_of(2, 11, 38))
+        with pytest.raises(ValueError):
+            make_order(delivered_minute=minute_of(2, 11, 45))
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            make_order(distance_m=-1.0)
+
+    def test_frozen(self):
+        o = make_order()
+        with pytest.raises(AttributeError):
+            o.store_id = "S2"
+
+
+class TestMinuteOf:
+    def test_values(self):
+        assert minute_of(0, 0, 0) == 0
+        assert minute_of(1, 0, 0) == MINUTES_PER_DAY
+        assert minute_of(0, 13, 30) == 13 * 60 + 30
+
+    @pytest.mark.parametrize("args", [(-1, 0, 0), (0, 24, 0), (0, 0, 60)])
+    def test_invalid(self, args):
+        with pytest.raises(ValueError):
+            minute_of(*args)
+
+
+class TestStoreRecord:
+    def test_fields(self):
+        s = StoreRecord("S1", 3, 121.4, 31.2, region=7)
+        assert s.store_type == 3
+        assert s.region == 7

@@ -1,0 +1,96 @@
+"""Order-log validation (linting)."""
+
+import dataclasses
+
+import pytest
+
+from repro.data import (
+    OrderLogValidationError,
+    validate_order_log,
+)
+
+
+@pytest.fixture(scope="module")
+def context(sim):
+    return dict(
+        num_regions=sim.land.num_regions,
+        num_types=sim.config.num_store_types,
+        num_days=sim.config.num_days,
+        stores=[s.record for s in sim.stores],
+    )
+
+
+class TestCleanLog:
+    def test_simulated_log_is_clean(self, sim, context):
+        report = validate_order_log(sim.orders, **context)
+        assert report.ok, [str(f) for f in report.errors[:5]]
+        assert report.orders_checked == sim.num_orders
+
+    def test_summary_mentions_counts(self, sim, context):
+        report = validate_order_log(sim.orders[:100], **context)
+        assert "100 orders checked" in report.summary()
+
+
+class TestCorruptions:
+    def corrupt(self, order, **changes):
+        return dataclasses.replace(order, **changes)
+
+    def test_bad_region_detected(self, sim, context):
+        bad = self.corrupt(sim.orders[0], store_region=10**6)
+        report = validate_order_log([bad], **context)
+        assert not report.ok
+        assert any(f.check == "region_range" for f in report.errors)
+
+    def test_bad_type_detected(self, sim, context):
+        bad = self.corrupt(sim.orders[0], store_type=999)
+        report = validate_order_log([bad], **context)
+        assert any(f.check == "type_range" for f in report.errors)
+
+    def test_window_violation(self, sim, context):
+        o = sim.orders[0]
+        bad = self.corrupt(
+            o,
+            created_minute=1e9,
+            accepted_minute=1e9 + 1,
+            pickup_minute=1e9 + 2,
+            delivered_minute=1e9 + 3,
+        )
+        report = validate_order_log([bad], **context)
+        assert any(f.check == "window" for f in report.errors)
+
+    def test_impossible_speed_warns(self, sim, context):
+        o = sim.orders[0]
+        bad = self.corrupt(o, distance_m=o.delivery_minutes * 5000.0)
+        report = validate_order_log([bad], **context)
+        assert any(f.check == "speed" for f in report.warnings)
+        assert report.ok  # warnings do not fail the log
+
+    def test_unknown_store(self, sim, context):
+        bad = self.corrupt(sim.orders[0], store_id="S999999")
+        report = validate_order_log([bad], **context)
+        assert any(f.check == "registry" for f in report.errors)
+
+    def test_registry_region_mismatch(self, sim, context):
+        o = sim.orders[0]
+        other = 0 if o.store_region != 0 else 1
+        bad = self.corrupt(o, store_region=other)
+        report = validate_order_log([bad], **context)
+        assert any("region mismatch" in f.message for f in report.errors)
+
+    def test_duplicate_ids(self, sim, context):
+        o = sim.orders[0]
+        report = validate_order_log([o, o], **context)
+        assert any(f.check == "duplicate_id" for f in report.errors)
+
+    def test_strict_raises(self, sim, context):
+        bad = self.corrupt(sim.orders[0], store_region=10**6)
+        with pytest.raises(OrderLogValidationError):
+            validate_order_log([bad], strict=True, **context)
+
+    def test_max_findings_truncates(self, sim, context):
+        bad = [
+            self.corrupt(o, store_region=10**6) for o in sim.orders[:50]
+        ]
+        report = validate_order_log(bad, max_findings=10, **context)
+        assert any(f.check == "truncated" for f in report.warnings)
+        assert len(report.findings) <= 12

@@ -1,0 +1,86 @@
+"""Design-choice flags (product channel, commercial head) and evaluation
+zero-relevance skipping."""
+
+import numpy as np
+import pytest
+
+from repro.core import O2SiteRec, O2SiteRecConfig
+from repro.metrics import evaluate_model
+from repro.nn import init
+
+
+class TestDesignFlags:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"product_channel": False},
+            {"commercial_in_predictor": False},
+            {"product_channel": False, "commercial_in_predictor": False},
+        ],
+    )
+    def test_variants_construct_and_predict(
+        self, micro_dataset, micro_split, overrides
+    ):
+        init.seed(0)
+        cfg = O2SiteRecConfig(capacity_dim=6, embedding_dim=20, **overrides)
+        model = O2SiteRec(micro_dataset, micro_split, cfg)
+        out = model.predict(micro_split.test_pairs[:5])
+        assert out.shape == (5,)
+        assert np.all(np.isfinite(out))
+
+    def test_flags_change_architecture(self, micro_dataset, micro_split):
+        init.seed(0)
+        full = O2SiteRec(
+            micro_dataset,
+            micro_split,
+            O2SiteRecConfig(capacity_dim=6, embedding_dim=20),
+        )
+        init.seed(0)
+        lean = O2SiteRec(
+            micro_dataset,
+            micro_split,
+            O2SiteRecConfig(
+                capacity_dim=6, embedding_dim=20, product_channel=False
+            ),
+        )
+        assert lean.num_parameters() < full.num_parameters()
+
+    def test_time_heads_validation_respects_product_flag(self):
+        # pair_dim = 2*d2 must divide time_heads when the product channel
+        # is off.
+        O2SiteRecConfig(embedding_dim=20, time_heads=5, product_channel=False)
+        with pytest.raises(ValueError):
+            O2SiteRecConfig(
+                embedding_dim=20, time_heads=7, product_channel=False
+            )
+
+
+class TestZeroRelevanceSkipping:
+    class _Zero:
+        def predict(self, pairs):
+            return np.zeros(len(pairs))
+
+    def test_zero_relevance_types_excluded(self, micro_dataset, micro_split):
+        result = evaluate_model(
+            self._Zero(), micro_dataset, micro_split, skip_zero_relevance=True
+        )
+        for a in result.per_type:
+            pairs = np.stack(
+                [
+                    micro_split.test_regions_for_type(a),
+                    np.full(
+                        len(micro_split.test_regions_for_type(a)), a, dtype=np.int64
+                    ),
+                ],
+                axis=1,
+            )
+            assert micro_dataset.pair_targets(pairs).sum() > 0
+
+    def test_disabled_keeps_all_types(self, micro_dataset, micro_split):
+        kept = evaluate_model(
+            self._Zero(), micro_dataset, micro_split, skip_zero_relevance=False
+        )
+        skipped = evaluate_model(
+            self._Zero(), micro_dataset, micro_split, skip_zero_relevance=True
+        )
+        assert len(kept.per_type) >= len(skipped.per_type)

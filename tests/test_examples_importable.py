@@ -1,0 +1,25 @@
+"""Every example script must at least import and expose main().
+
+(Full executions are exercised manually / in the docs; importing catches
+API drift immediately.)
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), f"{path.name} needs main()"
+
+
+def test_at_least_nine_examples():
+    assert len(EXAMPLES) >= 9

@@ -1,0 +1,41 @@
+"""The `python -m repro.experiments` command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == 0.55
+        assert args.rounds == 1
+
+    def test_experiment_ids(self):
+        args = build_parser().parse_args(["fig1", "table2"])
+        assert args.experiments == ["fig1", "table2"]
+
+
+class TestRunners:
+    def test_every_registered_experiment_has_a_runner(self):
+        assert set(RUNNERS) == set(EXPERIMENTS)
+
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig16" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_motivation_experiment(self, capsys):
+        assert main(["fig5", "--scale", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "Top store types" in out
+        assert "noon rush" in out

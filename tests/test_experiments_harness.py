@@ -1,0 +1,159 @@
+"""Experiment harness, ablation plumbing, registry and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.core import O2SiteRecConfig
+from repro.experiments import (
+    BASELINE_ORDER,
+    EXPERIMENTS,
+    ComparisonTable,
+    HarnessConfig,
+    build_dataset,
+    compare_models,
+    format_bar_groups,
+    format_comparison_table,
+    format_series,
+    quick_harness,
+    variant_config,
+)
+from repro.metrics import EvaluationResult, MultiRoundResult
+
+
+class TestRegistry:
+    def test_all_fourteen_experiments(self):
+        assert len(EXPERIMENTS) == 14
+        for exp_id in ("fig1", "table2", "table3", "table4", "fig10", "fig16"):
+            assert exp_id in EXPERIMENTS
+
+    def test_bench_paths_exist(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).parent.parent
+        for exp in EXPERIMENTS.values():
+            assert (root / exp.bench).exists(), exp.bench
+
+
+class TestHarnessConfig:
+    def test_defaults(self):
+        config = HarnessConfig()
+        assert config.rounds >= 1
+        assert isinstance(config.model_config, O2SiteRecConfig)
+
+    def test_quick_harness_is_smaller(self):
+        quick = quick_harness()
+        full = HarnessConfig()
+        assert quick.epochs < full.epochs
+        assert quick.scale < full.scale
+
+    def test_baseline_order_matches_paper(self):
+        assert BASELINE_ORDER == (
+            "CityTransfer",
+            "BL-G-CoSVD",
+            "GC-MC",
+            "GraphRec",
+            "RGCN",
+            "HGT",
+        )
+
+
+class TestBuildDataset:
+    def test_real_and_sim_kinds(self):
+        ds_real, split_real = build_dataset("real", seed=0, scale=0.45)
+        ds_sim, split_sim = build_dataset("sim", seed=0, scale=0.6)
+        assert len(split_real.train_pairs) > 0
+        assert len(split_sim.train_pairs) > 0
+        # The sim preset is sparser per region-day.
+        real_density = ds_real.aggregates.counts_sa.sum() / ds_real.num_regions
+        sim_density = ds_sim.aggregates.counts_sa.sum() / ds_sim.num_regions
+        assert sim_density < real_density
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_dataset("synthetic", seed=0, scale=1.0)
+
+    def test_seed_changes_city(self):
+        a, _ = build_dataset("real", seed=0, scale=0.45)
+        b, _ = build_dataset("real", seed=1, scale=0.45)
+        assert a.aggregates.counts_sa.sum() != b.aggregates.counts_sa.sum()
+
+
+class TestVariantConfig:
+    def test_all_variants(self):
+        base = O2SiteRecConfig()
+        assert variant_config(base, "O2-SiteRec") is base
+        assert not variant_config(base, "w/o Co").use_capacity
+        wococu = variant_config(base, "w/o CoCu")
+        assert not wococu.use_capacity and not wococu.use_preferences
+        assert not variant_config(base, "w/o NA").node_attention
+        assert not variant_config(base, "w/o SA").time_attention
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            variant_config(O2SiteRecConfig(), "w/o everything")
+
+
+def _table():
+    def rounds(values):
+        return MultiRoundResult(
+            [
+                EvaluationResult(values={"NDCG@3": v, "RMSE": 1 - v})
+                for v in values
+            ]
+        )
+
+    return ComparisonTable(
+        rows={
+            "HGT/adaption": rounds([0.6, 0.62]),
+            "O2-SiteRec": rounds([0.7, 0.72]),
+        },
+        metrics=("NDCG@3", "RMSE"),
+        reference_row="HGT/adaption",
+    )
+
+
+class TestComparisonTable:
+    def test_p_value_and_improvement(self):
+        table = _table()
+        assert table.p_value("NDCG@3") < 0.05
+        assert table.improvement_over("HGT/adaption", "NDCG@3") == pytest.approx(
+            (0.71 - 0.61) / 0.61
+        )
+
+    def test_format_contains_rows_and_markers(self):
+        text = format_comparison_table(_table(), title="T")
+        assert "O2-SiteRec" in text
+        assert "HGT/adaption" in text
+        assert "paired t-test" in text
+
+
+class TestFormatters:
+    def test_format_series_alignment(self):
+        text = format_series(
+            "Title", "x", [1, 2], {"a": [0.1, 0.2], "b": [0.3, 0.4]}
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "0.1000" in text and "0.4000" in text
+
+    def test_format_bar_groups(self):
+        text = format_bar_groups("T", ["g1"], {"m": [1.0]}, fmt="{:.1f}")
+        assert "g1" in text and "1.0" in text
+
+
+@pytest.mark.slow
+class TestCompareModelsSmoke:
+    def test_tiny_comparison_runs(self):
+        config = HarnessConfig(rounds=1, scale=0.45, epochs=4, patience=10)
+        table = compare_models(
+            "real",
+            config=config,
+            baselines=("CityTransfer",),
+            settings=("adaption",),
+            metrics=("NDCG@3", "RMSE"),
+        )
+        assert "O2-SiteRec" in table.rows
+        assert "CityTransfer/adaption" in table.rows
+        for row in table.rows.values():
+            value = row.mean("NDCG@3")
+            assert 0.0 <= value <= 1.0

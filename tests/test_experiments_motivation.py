@@ -1,0 +1,107 @@
+"""Motivation analyses: Figs. 1-5 and Table II reproduce the paper's shape."""
+
+import numpy as np
+import pytest
+
+from repro.data import TimePeriod
+from repro.experiments import (
+    delivery_scope_by_period,
+    delivery_time_distribution,
+    delivery_time_vs_ratio,
+    preference_order_correlation,
+    supply_demand_by_bin,
+    top_store_types_by_period,
+)
+
+
+class TestFig1SupplyDemand:
+    def test_series_shapes(self, medium_sim):
+        data = supply_demand_by_bin(medium_sim)
+        assert len(data["hours"]) == 12
+        assert data["orders"].max() == pytest.approx(1.0)
+        assert data["couriers"].max() == pytest.approx(1.0)
+
+    def test_rush_hours_have_most_orders(self, medium_sim):
+        data = supply_demand_by_bin(medium_sim)
+        hours = data["hours"]
+        noon = data["orders"][(hours >= 10) & (hours < 14)].mean()
+        afternoon = data["orders"][(hours >= 14) & (hours < 16)].mean()
+        assert noon > afternoon
+
+    def test_ratio_lower_at_rush(self, medium_sim):
+        data = supply_demand_by_bin(medium_sim)
+        hours = data["hours"]
+        active = data["orders"] > 0
+        noon = data["ratio"][(hours >= 10) & (hours < 14) & active].mean()
+        afternoon = data["ratio"][(hours >= 14) & (hours < 16) & active].mean()
+        assert noon < afternoon
+
+
+class TestFig2DeliveryTime:
+    def test_negative_correlation(self, medium_sim):
+        data = delivery_time_vs_ratio(medium_sim)
+        # Lower ratio (less capacity) -> longer delivery time.
+        assert float(data["correlation"]) < -0.3
+
+    def test_delivery_longer_at_rush(self, medium_sim):
+        data = delivery_time_vs_ratio(medium_sim)
+        hours = data["hours"]
+        noon = data["delivery_minutes"][(hours >= 10) & (hours < 14)].mean()
+        afternoon = data["delivery_minutes"][(hours >= 14) & (hours < 16)].mean()
+        assert noon > afternoon
+
+
+class TestFig3DeliveryScope:
+    def test_scope_per_period(self, medium_sim):
+        data = delivery_scope_by_period(medium_sim)
+        assert len(data["scope_m"]) == 5
+        assert np.all(data["scope_m"] > 0)
+
+    def test_rush_scope_smaller_than_afternoon(self, medium_sim):
+        data = delivery_scope_by_period(medium_sim)
+        scope = dict(zip(data["periods"], data["scope_m"]))
+        assert scope["noon rush"] < scope["afternoon"]
+
+
+class TestFig4TimeDistribution:
+    def test_histogram_shape(self, medium_sim):
+        data = delivery_time_distribution(medium_sim)
+        assert data["histogram"].shape == (5, 7)
+
+    def test_counts_only_in_band(self, medium_sim):
+        data = delivery_time_distribution(medium_sim, distance_band_m=(2500, 3000))
+        in_band = sum(1 for o in medium_sim.orders if 2500 <= o.distance_m < 3000)
+        assert data["histogram"].sum() == in_band
+
+
+class TestFig5TopTypes:
+    def test_top3_per_period(self, medium_sim):
+        top = top_store_types_by_period(medium_sim, k=3)
+        assert set(top) == set(TimePeriod)
+        for entries in top.values():
+            assert len(entries) == 3
+            counts = [c for _, c in entries]
+            assert counts == sorted(counts, reverse=True)
+
+    def test_preferences_differ_across_periods(self, medium_sim):
+        top = top_store_types_by_period(medium_sim, k=3)
+        leaders = {top[p][0][0] for p in TimePeriod}
+        assert len(leaders) >= 2  # morning leader differs from evening leader
+
+    def test_breakfast_peaks_in_morning(self, medium_sim):
+        top = top_store_types_by_period(medium_sim, k=5)
+        morning_names = [name for name, _ in top[TimePeriod.MORNING]]
+        night_names = [name for name, _ in top[TimePeriod.NIGHT]]
+        assert "breakfast" in morning_names or "steamed_buns" in morning_names
+        assert "breakfast" not in night_names[:3]
+
+
+class TestTable2Correlation:
+    def test_strong_correlation_at_all_radii(self, medium_sim):
+        table = preference_order_correlation(medium_sim, radii_km=(1, 2, 3))
+        for radius, corr in table.items():
+            assert corr > 0.5, f"radius {radius}: {corr}"
+
+    def test_returns_requested_radii(self, medium_sim):
+        table = preference_order_correlation(medium_sim, radii_km=(2, 4))
+        assert set(table) == {2.0, 4.0}

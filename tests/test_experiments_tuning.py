@@ -1,0 +1,39 @@
+"""Hyper-parameter grid search."""
+
+import pytest
+
+from repro.experiments import HarnessConfig, TrialResult, grid_search
+
+
+class TestTrialResult:
+    def test_overrides_dict(self):
+        t = TrialResult(
+            overrides=(("beta", 0.2),), metric="NDCG@3", mean=0.5, std=0.01, rounds=2
+        )
+        assert t.overrides_dict == {"beta": 0.2}
+
+
+class TestGridSearch:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_search({})
+
+    @pytest.mark.slow
+    def test_ranks_by_metric(self):
+        config = HarnessConfig(rounds=1, scale=0.45, epochs=4, patience=10)
+        trials = grid_search(
+            {"beta": [0.0, 0.2]},
+            config=config,
+            metric="NDCG@3",
+        )
+        assert len(trials) == 2
+        assert trials[0].mean >= trials[1].mean
+        assert {t.overrides_dict["beta"] for t in trials} == {0.0, 0.2}
+
+    @pytest.mark.slow
+    def test_rmse_minimised(self):
+        config = HarnessConfig(rounds=1, scale=0.45, epochs=3, patience=10)
+        trials = grid_search(
+            {"embedding_dim": [20, 40]}, config=config, metric="RMSE"
+        )
+        assert trials[0].mean <= trials[1].mean

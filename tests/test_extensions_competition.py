@@ -1,0 +1,65 @@
+"""Multi-platform competition extension."""
+
+import numpy as np
+import pytest
+
+from repro.city import real_world_dataset
+from repro.extensions import DuopolyConfig, run_competition_experiment, split_market
+
+
+@pytest.fixture(scope="module")
+def market():
+    sim = real_world_dataset(seed=7, scale=0.45)
+    return split_market(sim, DuopolyConfig(scale=0.45, seed=0))
+
+
+class TestDuopolyConfig:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            DuopolyConfig(frac_only_a=0.5, frac_only_b=0.5, frac_both=0.5)
+
+    def test_share_bounds(self):
+        with pytest.raises(ValueError):
+            DuopolyConfig(platform_a_share=1.5)
+
+
+class TestSplitMarket:
+    def test_every_store_registered(self, market):
+        store_ids = {s.record.store_id for s in market.sim.stores}
+        assert set(market.registration) == store_ids
+        assert set(market.registration.values()) <= {"A", "B", "both"}
+
+    def test_order_conservation(self, market):
+        assert len(market.orders_a) + len(market.orders_b) == market.market_orders
+
+    def test_exclusive_stores_routed_correctly(self, market):
+        a_ids = {o.store_id for o in market.orders_a}
+        for store_id, reg in market.registration.items():
+            if reg == "B":
+                assert store_id not in a_ids
+
+    def test_coverage_partial(self, market):
+        cov = market.coverage("A")
+        assert 0.2 < cov < 0.9
+        assert market.coverage("A") + market.coverage("B") == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        sim = real_world_dataset(seed=7, scale=0.45)
+        m1 = split_market(sim, DuopolyConfig(scale=0.45, seed=3))
+        m2 = split_market(sim, DuopolyConfig(scale=0.45, seed=3))
+        assert len(m1.orders_a) == len(m2.orders_a)
+        assert m1.registration == m2.registration
+
+
+@pytest.mark.slow
+class TestCompetitionExperiment:
+    def test_pooled_training_not_worse(self):
+        config = DuopolyConfig(scale=0.45, epochs=10, seed=0)
+        result = run_competition_experiment(config)
+        assert set(result.results) == {"platform_a", "pooled"}
+        assert 0 < result.coverage_a < 1
+        # The paper's claim: more platforms' data -> no worse (usually
+        # better) market-level recommendations.
+        assert (
+            result["pooled"]["NDCG@3"] >= result["platform_a"]["NDCG@3"] - 0.05
+        )

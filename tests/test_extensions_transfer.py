@@ -1,0 +1,87 @@
+"""Cross-city transfer extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import O2SiteRec, O2SiteRecConfig
+from repro.extensions import (
+    REGIMES,
+    TransferConfig,
+    load_transferable,
+    transferable_parameters,
+)
+from repro.nn import init
+
+
+@pytest.fixture()
+def two_models(micro_dataset, micro_split):
+    cfg = O2SiteRecConfig(capacity_dim=6, embedding_dim=20)
+    init.seed(0)
+    a = O2SiteRec(micro_dataset, micro_split, cfg)
+    init.seed(1)
+    b = O2SiteRec(micro_dataset, micro_split, cfg)
+    return a, b
+
+
+class TestTransferableParameters:
+    def test_excludes_embeddings(self, two_models):
+        a, _ = two_models
+        shared = transferable_parameters(a)
+        assert shared
+        assert all("embedding" not in name for name in shared)
+
+    def test_includes_attention_and_predictor(self, two_models):
+        a, _ = two_models
+        names = set(transferable_parameters(a))
+        assert any("predictor" in n for n in names)
+        assert any("time_attention" in n for n in names)
+        assert any("su" in n for n in names)
+
+    def test_load_copies_values(self, two_models):
+        a, b = two_models
+        shared = transferable_parameters(a)
+        copied = load_transferable(b, shared)
+        assert copied == len(shared)
+        b_params = dict(b.named_parameters())
+        for name, value in shared.items():
+            assert np.allclose(b_params[name].data, value)
+
+    def test_load_skips_shape_mismatch(self, two_models):
+        a, b = two_models
+        shared = transferable_parameters(a)
+        key = next(iter(shared))
+        shared[key] = np.zeros((1, 1))
+        copied = load_transferable(b, shared)
+        assert copied == len(shared) - 1
+
+    def test_embeddings_untouched(self, two_models):
+        a, b = two_models
+        before = b.recommender.store_embedding.weight.data.copy()
+        load_transferable(b, transferable_parameters(a))
+        assert np.allclose(b.recommender.store_embedding.weight.data, before)
+
+
+class TestTransferConfig:
+    def test_defaults(self):
+        cfg = TransferConfig()
+        assert 0 < cfg.target_train_frac < 0.8
+        assert set(REGIMES) == {"scratch", "zero_shot", "transfer"}
+
+
+@pytest.mark.slow
+class TestTransferExperiment:
+    def test_runs_and_reports_all_regimes(self):
+        from repro.extensions import run_transfer_experiment
+
+        config = TransferConfig(
+            source_scale=0.45,
+            target_scale=0.45,
+            source_epochs=6,
+            target_epochs=6,
+            fine_tune_epochs=4,
+        )
+        result = run_transfer_experiment(config)
+        assert set(result.results) == set(REGIMES)
+        assert result.parameters_transferred > 10
+        for regime in REGIMES:
+            assert 0.0 <= result[regime]["NDCG@3"] <= 1.0

@@ -1,0 +1,107 @@
+"""Geographic feature extraction (Section III-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    entropy,
+    normalize_columns,
+    poi_diversity,
+    region_feature_matrix,
+    store_diversity,
+    traffic_convenience,
+)
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        p = np.ones((1, 4))
+        assert entropy(p)[0] == pytest.approx(np.log(4))
+
+    def test_point_mass_is_zero(self):
+        p = np.array([[0.0, 1.0, 0.0]])
+        assert entropy(p)[0] == 0.0
+
+    def test_all_zero_row_is_zero(self):
+        assert entropy(np.zeros((1, 5)))[0] == 0.0
+
+    def test_scale_invariant(self):
+        p = np.array([[1.0, 2.0, 3.0]])
+        assert entropy(p)[0] == pytest.approx(entropy(p * 10)[0])
+
+    def test_batch(self):
+        p = np.array([[1, 1], [1, 0]], dtype=float)
+        out = entropy(p)
+        assert out[0] == pytest.approx(np.log(2))
+        assert out[1] == 0.0
+
+
+class TestDiversity:
+    def test_poi_diversity_shape(self):
+        counts = np.random.default_rng(0).poisson(3, size=(10, 6))
+        assert poi_diversity(counts).shape == (10,)
+
+    def test_store_diversity_monotone_in_spread(self):
+        concentrated = np.array([[10, 0, 0]])
+        spread = np.array([[4, 3, 3]])
+        assert store_diversity(spread)[0] > store_diversity(concentrated)[0]
+
+
+class TestTrafficConvenience:
+    def test_stacks_columns(self):
+        out = traffic_convenience(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert out.shape == (2, 2)
+        assert np.allclose(out[:, 0], [1, 2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            traffic_convenience(np.zeros(2), np.zeros(3))
+
+
+class TestFeatureMatrix:
+    def test_layout_and_normalisation(self):
+        rng = np.random.default_rng(1)
+        pois = rng.poisson(5, size=(8, 4)).astype(float)
+        inter = rng.poisson(3, size=8).astype(float)
+        roads = rng.poisson(6, size=8).astype(float)
+        stores = rng.poisson(2, size=(8, 3)).astype(float)
+        out = region_feature_matrix(pois, inter, roads, stores)
+        assert out.shape == (8, 4 + 1 + 2 + 1)
+        assert out.max() <= 1.0 + 1e-12
+        assert out.min() >= 0.0
+
+    def test_unnormalised(self):
+        pois = np.full((2, 2), 10.0)
+        out = region_feature_matrix(
+            pois, np.zeros(2), np.zeros(2), np.ones((2, 2)), normalize=False
+        )
+        assert out[:, :2].max() == 10.0
+
+
+class TestNormalizeColumns:
+    def test_scales_to_unit_max(self):
+        m = np.array([[1.0, 0.0], [4.0, 0.0]])
+        out = normalize_columns(m)
+        assert out[:, 0].max() == 1.0
+        assert np.allclose(out[:, 1], 0.0)  # zero column untouched
+
+    def test_does_not_mutate_input(self):
+        m = np.array([[2.0]])
+        normalize_columns(m)
+        assert m[0, 0] == 2.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 10),
+    cols=st.integers(1, 6),
+    seed=st.integers(0, 100),
+)
+def test_property_entropy_bounds(rows, cols, seed):
+    """0 <= entropy <= log(num_types) always."""
+    counts = np.random.default_rng(seed).poisson(2, size=(rows, cols)).astype(float)
+    h = entropy(counts)
+    assert np.all(h >= -1e-12)
+    assert np.all(h <= np.log(max(cols, 1)) + 1e-9)

@@ -1,0 +1,124 @@
+"""Region grid geometry (Definition 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import RegionGrid
+
+
+@pytest.fixture()
+def grid():
+    return RegionGrid(rows=4, cols=5, cell_size=500.0)
+
+
+class TestIdentity:
+    def test_num_regions(self, grid):
+        assert grid.num_regions == 20
+
+    def test_region_id_row_col_roundtrip(self, grid):
+        for region in grid:
+            row, col = grid.row_col(region)
+            assert grid.region_id(row, col) == region
+
+    def test_region_id_bounds(self, grid):
+        with pytest.raises(IndexError):
+            grid.region_id(4, 0)
+        with pytest.raises(IndexError):
+            grid.region_id(0, 5)
+        with pytest.raises(IndexError):
+            grid.row_col(20)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RegionGrid(rows=0, cols=5)
+        with pytest.raises(ValueError):
+            RegionGrid(rows=2, cols=2, cell_size=0)
+
+
+class TestGeometry:
+    def test_centroid_center_of_cell(self, grid):
+        assert grid.centroid(0) == (250.0, 250.0)
+        assert grid.centroid(grid.region_id(1, 2)) == (1250.0, 750.0)
+
+    def test_centroids_matches_centroid(self, grid):
+        all_c = grid.centroids()
+        for region in grid:
+            assert tuple(all_c[region]) == grid.centroid(region)
+
+    def test_distance_symmetric_and_zero_on_diagonal(self, grid):
+        assert grid.distance(0, 0) == 0.0
+        assert grid.distance(0, 7) == grid.distance(7, 0)
+
+    def test_adjacent_distance_is_cell_size(self, grid):
+        assert grid.distance(0, 1) == pytest.approx(500.0)
+
+    def test_distance_matrix_matches(self, grid):
+        m = grid.distance_matrix()
+        assert m.shape == (20, 20)
+        assert m[0, 1] == pytest.approx(grid.distance(0, 1))
+        assert np.allclose(m, m.T)
+
+    def test_region_of_point_and_clamping(self, grid):
+        assert grid.region_of_point(250.0, 250.0) == 0
+        assert grid.region_of_point(-100.0, -100.0) == 0
+        assert grid.region_of_point(1e9, 1e9) == grid.num_regions - 1
+
+    def test_neighbors_within_800m(self, grid):
+        # From an interior cell: 4 rook neighbours (500) + 4 diagonals (707).
+        interior = grid.region_id(1, 2)
+        assert len(grid.neighbors_within(interior, 800.0)) == 8
+
+    def test_neighbors_within_corner(self, grid):
+        assert len(grid.neighbors_within(0, 800.0)) == 3
+
+    def test_neighbors_exclude_self(self, grid):
+        assert 0 not in grid.neighbors_within(0, 10_000.0)
+
+    def test_pairs_within_symmetry(self, grid):
+        pairs = {(i, j) for i, j, _ in grid.pairs_within(800.0)}
+        assert all((j, i) in pairs for i, j in pairs)
+
+
+class TestLonLat:
+    def test_roundtrip(self, grid):
+        lon, lat = grid.to_lonlat(1234.0, 567.0)
+        x, y = grid.from_lonlat(lon, lat)
+        assert x == pytest.approx(1234.0)
+        assert y == pytest.approx(567.0)
+
+    def test_origin(self, grid):
+        assert grid.to_lonlat(0.0, 0.0) == (grid.origin_lon, grid.origin_lat)
+
+
+class TestCenter:
+    def test_center_region(self, grid):
+        assert grid.center_region() == grid.region_id(2, 2)
+
+    def test_distance_from_center_zero_at_center(self, grid):
+        assert grid.distance_from_center(grid.center_region()) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 8),
+    cols=st.integers(1, 8),
+    cell=st.floats(100.0, 1000.0),
+)
+def test_property_roundtrip_any_grid(rows, cols, cell):
+    grid = RegionGrid(rows=rows, cols=cols, cell_size=cell)
+    for region in range(grid.num_regions):
+        row, col = grid.row_col(region)
+        assert grid.region_id(row, col) == region
+        x, y = grid.centroid(region)
+        assert grid.region_of_point(x, y) == region
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.integers(2, 6), cols=st.integers(2, 6), radius=st.floats(100, 3000))
+def test_property_neighbors_within_radius(rows, cols, radius):
+    grid = RegionGrid(rows=rows, cols=cols, cell_size=500.0)
+    for region in range(grid.num_regions):
+        for n in grid.neighbors_within(region, radius):
+            assert grid.distance(region, n) <= radius + 1e-9

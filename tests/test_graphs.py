@@ -1,0 +1,163 @@
+"""Graph constructions: Definitions 2-4."""
+
+import numpy as np
+import pytest
+
+from repro.data import TimePeriod
+from repro.graphs import (
+    CourierMobilityMultiGraph,
+    RegionGeographicalGraph,
+    build_hetero_multigraph,
+)
+
+
+@pytest.fixture(scope="module")
+def geo(dataset):
+    return RegionGeographicalGraph.from_grid(dataset.grid)
+
+
+@pytest.fixture(scope="module")
+def mobility(dataset):
+    return CourierMobilityMultiGraph.from_aggregates(dataset.aggregates)
+
+
+@pytest.fixture(scope="module")
+def hetero(dataset, split):
+    return build_hetero_multigraph(dataset, split=split)
+
+
+class TestGeographicalGraph:
+    def test_edges_within_threshold(self, geo):
+        assert geo.num_edges > 0
+        assert geo.distance.max() <= 800.0
+
+    def test_directed_both_ways(self, geo):
+        pairs = set(zip(geo.src.tolist(), geo.dst.tolist()))
+        assert all((j, i) in pairs for i, j in pairs)
+
+    def test_no_self_loops(self, geo):
+        assert np.all(geo.src != geo.dst)
+
+    def test_neighbors_of(self, geo, dataset):
+        center = dataset.grid.center_region()
+        neigh = geo.neighbors_of(center)
+        assert len(neigh) == 8  # rook + diagonal within 800 m
+
+    def test_invalid_threshold(self, dataset):
+        with pytest.raises(ValueError):
+            RegionGeographicalGraph.from_grid(dataset.grid, threshold_m=0)
+
+
+class TestMobilityGraph:
+    def test_every_period_present(self, mobility):
+        assert set(mobility.subgraphs) == set(TimePeriod)
+
+    def test_delivery_time_normalised(self, mobility):
+        for period in TimePeriod:
+            sg = mobility.subgraph(period)
+            if sg.num_edges:
+                assert sg.delivery_time.min() > 0
+                assert sg.delivery_time.mean() < 2.0  # ~ under 2 hours
+
+    def test_min_count_filter(self, dataset):
+        loose = CourierMobilityMultiGraph.from_aggregates(dataset.aggregates, 1)
+        strict = CourierMobilityMultiGraph.from_aggregates(dataset.aggregates, 3)
+        assert strict.total_edges < loose.total_edges
+        for period in TimePeriod:
+            assert np.all(strict.subgraph(period).count >= 3)
+
+    def test_undirected_neighbors_doubles(self, mobility):
+        sg = mobility.subgraph(TimePeriod.NOON_RUSH)
+        src, dst = sg.undirected_neighbors()
+        assert len(src) == 2 * sg.num_edges
+
+    def test_invalid_time_scale(self, dataset):
+        with pytest.raises(ValueError):
+            CourierMobilityMultiGraph.from_aggregates(
+                dataset.aggregates, time_scale_min=0
+            )
+
+
+class TestHeteroGraph:
+    def test_node_sets(self, hetero, dataset):
+        assert hetero.num_store_nodes == len(dataset.store_regions)
+        assert hetero.num_customer_nodes == len(dataset.customer_regions)
+        assert hetero.num_types == dataset.num_types
+
+    def test_node_features_aligned(self, hetero, dataset):
+        assert hetero.store_features.shape == (
+            hetero.num_store_nodes,
+            dataset.region_features.shape[1],
+        )
+
+    def test_sa_edges_match_store_registry(self, hetero, dataset):
+        for s_idx, a in zip(hetero.sa_src_s, hetero.sa_dst_a):
+            region = hetero.store_regions[s_idx]
+            assert dataset.store_counts[region, a] > 0
+
+    def test_sa_mask_hides_test_pairs(self, hetero, dataset, split):
+        test_set = {tuple(p) for p in split.test_pairs}
+        for (s_idx, a), attr in zip(
+            zip(hetero.sa_src_s, hetero.sa_dst_a), hetero.sa_attr
+        ):
+            region = int(hetero.store_regions[s_idx])
+            if (region, int(a)) in test_set:
+                assert attr[2] == 0.0
+
+    def test_sa_train_pairs_keep_counts(self, hetero, dataset, split):
+        train_set = {tuple(p) for p in split.train_pairs}
+        kept = 0
+        for (s_idx, a), attr in zip(
+            zip(hetero.sa_src_s, hetero.sa_dst_a), hetero.sa_attr
+        ):
+            region = int(hetero.store_regions[s_idx])
+            if (region, int(a)) in train_set and attr[2] > 0:
+                kept += 1
+        assert kept > 0
+
+    def test_su_edges_within_farthest_distance(self, hetero, dataset):
+        agg = dataset.aggregates
+        for period in TimePeriod:
+            sg = hetero.subgraph(period)
+            for (rs, ru), attr in zip(sg.su_region_pairs[:200], sg.su_attr[:200]):
+                far = agg.farthest_distance[rs, int(period)]
+                if far > 0:
+                    d = dataset.grid.distance(int(rs), int(ru))
+                    assert d <= far + 1e-6
+
+    def test_su_attr_shape(self, hetero):
+        for period in TimePeriod:
+            sg = hetero.subgraph(period)
+            assert sg.su_attr.shape == (sg.num_su_edges, 2)
+            assert sg.su_region_pairs.shape == (sg.num_su_edges, 2)
+
+    def test_ua_edges_match_counts(self, hetero, dataset):
+        agg = dataset.aggregates
+        for period in TimePeriod:
+            sg = hetero.subgraph(period)
+            for a, u_idx in zip(sg.ua_src_a[:200], sg.ua_dst_u[:200]):
+                region = hetero.customer_regions[u_idx]
+                assert agg.counts_uat[region, a, int(period)] > 0
+
+    def test_capacity_unaware_has_flat_scope(self, dataset, split):
+        unaware = build_hetero_multigraph(
+            dataset, split=split, capacity_aware=False
+        )
+        from repro.graphs import FALLBACK_SCOPE_M
+
+        for period in TimePeriod:
+            sg = unaware.subgraph(period)
+            for rs, ru in sg.su_region_pairs[:200]:
+                assert dataset.grid.distance(int(rs), int(ru)) <= FALLBACK_SCOPE_M
+
+    def test_store_index_of(self, hetero):
+        region = int(hetero.store_regions[3])
+        assert hetero.store_index_of(region) == 3
+        with pytest.raises(KeyError):
+            hetero.store_index_of(10**6)
+
+    def test_no_split_keeps_all_counts(self, dataset):
+        unmasked = build_hetero_multigraph(dataset, split=None)
+        total = unmasked.sa_attr[:, 2].sum()
+        masked = build_hetero_multigraph(dataset, split=dataset.split(0))
+        assert total >= masked.sa_attr[:, 2].sum()

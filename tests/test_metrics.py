@@ -1,0 +1,205 @@
+"""Ranking metrics, per-type evaluation and statistical tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    EvaluationResult,
+    MultiRoundResult,
+    dcg_at_k,
+    evaluate_model,
+    ndcg_at_k,
+    paired_t_test,
+    precision_at_k,
+    rmse,
+    significance_marker,
+)
+
+
+class TestDCG:
+    def test_first_position_undiscounted(self):
+        assert dcg_at_k(np.array([1.0]), 1) == pytest.approx(1.0)
+
+    def test_discount_log2(self):
+        assert dcg_at_k(np.array([0.0, 1.0]), 2) == pytest.approx(1 / np.log2(3))
+
+    def test_k_truncates(self):
+        rel = np.array([1.0, 1.0, 1.0])
+        assert dcg_at_k(rel, 1) < dcg_at_k(rel, 3)
+
+    def test_empty(self):
+        assert dcg_at_k(np.array([]), 3) == 0.0
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        rel = np.array([3.0, 2.0, 1.0, 0.0])
+        assert ndcg_at_k(rel, rel, 3) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        rel = np.array([3.0, 2.0, 1.0, 0.0])
+        assert ndcg_at_k(-rel, rel, 3) < 1.0
+
+    def test_all_zero_relevance(self):
+        assert ndcg_at_k(np.array([1.0, 2.0]), np.zeros(2), 2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.zeros(2), np.zeros(3), 2)
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.zeros(2), np.zeros(2), 0)
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.zeros((2, 2)), np.zeros((2, 2)), 1)
+
+    def test_better_ranking_scores_higher(self):
+        rel = np.array([5.0, 4.0, 1.0, 0.0])
+        good = np.array([10.0, 9.0, 1.0, 0.0])
+        bad = np.array([0.0, 1.0, 9.0, 10.0])
+        assert ndcg_at_k(good, rel, 3) > ndcg_at_k(bad, rel, 3)
+
+
+class TestPrecision:
+    def test_eq18_definition(self):
+        # Top-2 predicted vs top-3 true.
+        scores = np.array([9.0, 8.0, 1.0, 0.0, 2.0])
+        relevance = np.array([5.0, 0.0, 4.0, 3.0, 1.0])
+        # predicted top-2 = {0, 1}; true top-3 = {0, 2, 3} -> overlap 1.
+        assert precision_at_k(scores, relevance, 2, top_n=3) == pytest.approx(0.5)
+
+    def test_perfect(self):
+        rel = np.array([3.0, 2.0, 1.0, 0.0])
+        assert precision_at_k(rel, rel, 2, top_n=2) == 1.0
+
+    def test_k_clamped_to_candidates(self):
+        assert precision_at_k(np.ones(2), np.ones(2), 5, top_n=1) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.zeros(2), np.zeros(2), 0)
+
+
+class TestRMSE:
+    def test_value(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == pytest.approx(
+            np.sqrt(5.0)
+        )
+
+    def test_zero_for_exact(self):
+        x = np.array([1.0, 2.0])
+        assert rmse(x, x) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            rmse(np.zeros(0), np.zeros(0))
+
+
+class _OracleModel:
+    """Predicts the ground truth (upper bound for every metric)."""
+
+    def __init__(self, dataset):
+        self.dataset = dataset
+
+    def predict(self, pairs):
+        return self.dataset.pair_targets(np.asarray(pairs))
+
+
+class _NoiseModel:
+    def predict(self, pairs):
+        return np.random.default_rng(0).random(len(pairs))
+
+
+class TestEvaluateModel:
+    def test_oracle_scores_high(self, dataset, split):
+        result = evaluate_model(_OracleModel(dataset), dataset, split, top_n=5)
+        assert result["NDCG@3"] == pytest.approx(1.0)
+        assert result["Precision@3"] >= 0.99
+
+    def test_noise_scores_lower(self, dataset, split):
+        oracle = evaluate_model(_OracleModel(dataset), dataset, split, top_n=5)
+        noise = evaluate_model(_NoiseModel(), dataset, split, top_n=5)
+        assert noise["NDCG@3"] < oracle["NDCG@3"]
+
+    def test_per_type_populated(self, dataset, split):
+        result = evaluate_model(_OracleModel(dataset), dataset, split)
+        assert len(result.per_type) > 0
+        assert result.as_row(["NDCG@3"]) == [result["NDCG@3"]]
+
+    def test_type_filter(self, dataset, split):
+        result = evaluate_model(_OracleModel(dataset), dataset, split, types=[0, 1])
+        assert set(result.per_type) <= {0, 1}
+
+    def test_region_filter_restricts_candidates(self, dataset, split):
+        few_regions = dataset.store_regions[:3]
+        with pytest.raises(ValueError):
+            # With almost no candidate overlap, no type is evaluable.
+            evaluate_model(
+                _OracleModel(dataset),
+                dataset,
+                split,
+                regions_filter=np.array([10**6]),
+            )
+
+
+class TestMultiRound:
+    def make(self, values):
+        return MultiRoundResult(
+            [EvaluationResult(values={"NDCG@3": v}) for v in values]
+        )
+
+    def test_mean_std_series(self):
+        r = self.make([0.5, 0.7])
+        assert r.mean("NDCG@3") == pytest.approx(0.6)
+        assert r.std("NDCG@3") == pytest.approx(0.1)
+        assert np.allclose(r.series("NDCG@3"), [0.5, 0.7])
+
+    def test_paired_t_test_detects_difference(self):
+        ours = self.make([0.8, 0.82, 0.81, 0.83])
+        theirs = self.make([0.6, 0.62, 0.61, 0.63])
+        assert paired_t_test(ours, theirs, "NDCG@3") < 0.01
+
+    def test_paired_t_test_identical_is_one(self):
+        a = self.make([0.5, 0.5])
+        assert paired_t_test(a, a, "NDCG@3") == 1.0
+
+    def test_paired_t_test_single_round_nan(self):
+        a, b = self.make([0.5]), self.make([0.6])
+        assert np.isnan(paired_t_test(a, b, "NDCG@3"))
+
+    def test_mismatched_rounds(self):
+        with pytest.raises(ValueError):
+            paired_t_test(self.make([0.5]), self.make([0.5, 0.6]), "NDCG@3")
+
+
+class TestSignificanceMarker:
+    @pytest.mark.parametrize(
+        "p,marker",
+        [(0.001, "**"), (0.03, "*"), (0.2, ""), (float("nan"), "")],
+    )
+    def test_markers(self, p, marker):
+        assert significance_marker(p) == marker
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 20),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 500),
+)
+def test_property_ndcg_bounded(n, k, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.random(n)
+    relevance = rng.random(n)
+    value = ndcg_at_k(scores, relevance, k)
+    assert 0.0 <= value <= 1.0 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 20), k=st.integers(1, 5), seed=st.integers(0, 500))
+def test_property_precision_bounded(n, k, seed):
+    rng = np.random.default_rng(seed)
+    value = precision_at_k(rng.random(n), rng.random(n), k, top_n=max(1, n // 2))
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,67 @@
+"""Extended ranking metrics: recall, MAP, hit rate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import average_precision, hit_rate_at_k, recall_at_k
+
+
+class TestRecall:
+    def test_perfect(self):
+        rel = np.array([3.0, 2.0, 1.0, 0.0])
+        assert recall_at_k(rel, rel, 2, top_n=2) == 1.0
+
+    def test_partial(self):
+        scores = np.array([9.0, 8.0, 0.0, 0.0])
+        rel = np.array([5.0, 0.0, 4.0, 3.0])
+        # top-2 predicted {0,1}; top-3 true {0,2,3} -> recall 1/3.
+        assert recall_at_k(scores, rel, 2, top_n=3) == pytest.approx(1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.zeros(2), np.zeros(2), 0)
+
+
+class TestAveragePrecision:
+    def test_perfect_is_one(self):
+        rel = np.array([3.0, 2.0, 1.0, 0.5])
+        assert average_precision(rel, rel, top_n=2) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        rel = np.array([3.0, 2.0, 1.0, 0.0])
+        assert average_precision(-rel, rel, top_n=2) < 0.8
+
+    def test_known_value(self):
+        # relevant = {0}; ranked second -> AP = 1/2.
+        scores = np.array([1.0, 2.0])
+        rel = np.array([1.0, 0.0])
+        assert average_precision(scores, rel, top_n=1) == pytest.approx(0.5)
+
+
+class TestHitRate:
+    def test_hit(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        rel = np.array([0.0, 5.0, 1.0])
+        assert hit_rate_at_k(scores, rel, 1) == 1.0
+
+    def test_miss(self):
+        scores = np.array([0.9, 0.1, 0.5])
+        rel = np.array([0.0, 5.0, 1.0])
+        assert hit_rate_at_k(scores, rel, 1) == 0.0
+        assert hit_rate_at_k(scores, rel, 3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k(np.zeros(2), np.zeros(2), 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 15), k=st.integers(1, 5), seed=st.integers(0, 300))
+def test_property_recall_and_ap_bounded(n, k, seed):
+    rng = np.random.default_rng(seed)
+    scores, rel = rng.random(n), rng.random(n)
+    top_n = max(1, n // 2)
+    assert 0.0 <= recall_at_k(scores, rel, k, top_n=top_n) <= 1.0
+    assert 0.0 <= average_precision(scores, rel, top_n=top_n) <= 1.0 + 1e-9

@@ -1,0 +1,140 @@
+"""Decision trees, gradient boosting and the Geo-spotting baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import DecisionTreeRegressor, GradientBoostedTrees
+
+
+def make_step_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 3))
+    y = np.where(x[:, 0] > 0.2, 3.0, -1.0) + rng.normal(0, 0.05, n)
+    return x, y
+
+
+def make_nonlinear_data(n=300, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = np.sign(x[:, 0]) * np.sign(x[:, 1])  # XOR-ish: linear models fail
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        x, y = make_step_data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        pred = tree.predict(x)
+        assert np.mean((pred - y) ** 2) < 0.05
+
+    def test_depth_limits_growth(self):
+        x, y = make_nonlinear_data()
+        shallow = DecisionTreeRegressor(max_depth=1).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert shallow.depth <= 1
+        assert deep.depth <= 4
+        mse_shallow = np.mean((shallow.predict(x) - y) ** 2)
+        mse_deep = np.mean((deep.predict(x) - y) ** 2)
+        assert mse_deep < mse_shallow
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).normal(size=(50, 2))
+        y = np.full(50, 2.5)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert tree.depth == 0
+        assert np.allclose(tree.predict(x), 2.5)
+
+    def test_min_samples_leaf_respected(self):
+        x, y = make_step_data(n=12)
+        tree = DecisionTreeRegressor(max_depth=5, min_samples_leaf=6).fit(x, y)
+        assert tree.depth <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_duplicate_feature_values_handled(self):
+        x = np.zeros((30, 1))
+        y = np.random.default_rng(0).normal(size=30)
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert tree.depth == 0  # nothing to split on
+
+
+class TestGradientBoosting:
+    def test_fits_xor_where_linear_fails(self):
+        x, y = make_nonlinear_data()
+        gbdt = GradientBoostedTrees(n_estimators=80, max_depth=3).fit(x, y)
+        mse = np.mean((gbdt.predict(x) - y) ** 2)
+        # Best linear fit of XOR has MSE ~ var(y) ~ 1.
+        assert mse < 0.2
+
+    def test_staged_mse_decreases(self):
+        x, y = make_step_data()
+        gbdt = GradientBoostedTrees(n_estimators=30).fit(x, y)
+        curve = gbdt.staged_mse(x, y)
+        assert curve[-1] < curve[0]
+
+    def test_subsampling_reproducible(self):
+        x, y = make_step_data()
+        a = GradientBoostedTrees(n_estimators=10, subsample=0.6, seed=3).fit(x, y)
+        b = GradientBoostedTrees(n_estimators=10, subsample=0.6, seed=3).fit(x, y)
+        assert np.allclose(a.predict(x), b.predict(x))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=1.5)
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.zeros((1, 2)))
+
+
+class TestGeoSpottingBaseline:
+    def test_fit_predict_and_quality(self, micro_dataset, micro_split):
+        from repro.baselines import GeoSpotting
+
+        model = GeoSpotting(micro_dataset, micro_split, setting="adaption")
+        pairs = micro_split.train_pairs
+        targets = micro_dataset.pair_targets(pairs)
+        model.fit(pairs, targets)
+        train_mse = np.mean((model.predict(pairs) - targets) ** 2)
+        assert train_mse < np.var(targets)  # beats predicting the mean
+
+        preds = model.predict(micro_split.test_pairs)
+        assert preds.shape == (len(micro_split.test_pairs),)
+
+    def test_requires_fit(self, micro_dataset, micro_split):
+        from repro.baselines import GeoSpotting
+
+        with pytest.raises(RuntimeError):
+            GeoSpotting(micro_dataset, micro_split).predict(
+                micro_split.test_pairs[:2]
+            )
+
+    def test_registry_separation(self):
+        from repro.baselines import BASELINE_REGISTRY, EXTRA_BASELINES
+
+        assert "Geo-spotting" in EXTRA_BASELINES
+        assert "Geo-spotting" not in BASELINE_REGISTRY
+        assert len(BASELINE_REGISTRY) == 6  # the paper's Table III rows
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 200), depth=st.integers(1, 4))
+def test_property_tree_never_worse_than_mean(seed, depth):
+    """A fitted tree's training MSE never exceeds the mean predictor's."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(40, 2))
+    y = rng.normal(size=40)
+    tree = DecisionTreeRegressor(max_depth=depth, min_samples_leaf=2).fit(x, y)
+    mse_tree = np.mean((tree.predict(x) - y) ** 2)
+    mse_mean = np.mean((y - y.mean()) ** 2)
+    assert mse_tree <= mse_mean + 1e-9

@@ -1,0 +1,40 @@
+"""Extra motivation analyses: distance distribution, courier utilisation."""
+
+import numpy as np
+import pytest
+
+from repro.data import TimePeriod
+from repro.experiments import (
+    courier_utilisation_by_period,
+    order_distance_distribution,
+)
+
+
+class TestOrderDistanceDistribution:
+    def test_counts_cover_all_orders(self, sim):
+        data = order_distance_distribution(sim)
+        assert data["counts"].sum() == sim.num_orders
+        assert data["share"].sum() == pytest.approx(1.0)
+
+    def test_mid_band_dominates(self, sim):
+        # Most orders in 0.5-3 km (distance decay + in-person pickup below).
+        data = order_distance_distribution(
+            sim, edges_m=(0, 500, 3000, np.inf)
+        )
+        assert data["share"][1] > 0.5
+
+    def test_custom_edges(self, sim):
+        data = order_distance_distribution(sim, edges_m=(0, 1000, np.inf))
+        assert len(data["counts"]) == 2
+
+
+class TestCourierUtilisation:
+    def test_per_period_shape(self, sim):
+        data = courier_utilisation_by_period(sim)
+        assert len(data["orders_per_courier_hour"]) == len(TimePeriod)
+        assert np.all(data["orders_per_courier_hour"] >= 0)
+
+    def test_rush_load_exceeds_afternoon(self, sim):
+        data = courier_utilisation_by_period(sim)
+        by_label = dict(zip(data["periods"], data["orders_per_courier_hour"]))
+        assert by_label["noon rush"] > by_label["afternoon"]

@@ -1,0 +1,96 @@
+"""Multi-head segment attention (the paper's Aggre) and mean aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MeanSegmentAggregation, MultiHeadSegmentAttention
+from repro.tensor import Tensor
+
+
+def make_inputs(num_targets=4, num_sources=6, num_edges=10, edge_dim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    target = Tensor(rng.normal(size=(num_targets, 5)), requires_grad=True)
+    source = Tensor(rng.normal(size=(num_sources, 7)), requires_grad=True)
+    src = rng.integers(0, num_sources, size=num_edges)
+    dst = rng.integers(0, num_targets, size=num_edges)
+    attr = Tensor(rng.normal(size=(num_edges, edge_dim))) if edge_dim else None
+    return target, source, src, dst, attr
+
+
+class TestMultiHeadSegmentAttention:
+    def test_output_shape(self):
+        att = MultiHeadSegmentAttention(5, 7, 3, num_heads=2, head_dim=4)
+        target, source, src, dst, attr = make_inputs()
+        out = att(target, source, src, dst, attr)
+        assert out.shape == (4, 8)
+        assert att.out_dim == 8
+
+    def test_isolated_target_gets_zeros(self):
+        att = MultiHeadSegmentAttention(5, 7, 0, num_heads=2, head_dim=4)
+        target, source, _, _, _ = make_inputs(edge_dim=0)
+        src = np.array([0, 1])
+        dst = np.array([0, 0])  # targets 1..3 receive nothing
+        out = att(target, source, src, dst)
+        assert np.allclose(out.data[1:], 0.0)
+
+    def test_no_edges_returns_zeros(self):
+        att = MultiHeadSegmentAttention(5, 7, 0, num_heads=2, head_dim=4)
+        target, source, _, _, _ = make_inputs(edge_dim=0)
+        out = att(target, source, np.array([], dtype=int), np.array([], dtype=int))
+        assert out.shape == (4, 8)
+        assert np.allclose(out.data, 0.0)
+
+    def test_requires_edge_attr_when_declared(self):
+        att = MultiHeadSegmentAttention(5, 7, 3, num_heads=2, head_dim=4)
+        target, source, src, dst, _ = make_inputs()
+        with pytest.raises(ValueError):
+            att(target, source, src, dst, None)
+
+    def test_gradients_reach_all_inputs(self):
+        att = MultiHeadSegmentAttention(5, 7, 3, num_heads=2, head_dim=4)
+        target, source, src, dst, attr = make_inputs()
+        att(target, source, src, dst, attr).sum().backward()
+        assert target.grad is not None
+        assert source.grad is not None
+        for p in att.parameters():
+            assert p.grad is not None, p.name
+
+    def test_edge_attr_changes_output(self):
+        att = MultiHeadSegmentAttention(5, 7, 3, num_heads=2, head_dim=4)
+        target, source, src, dst, attr = make_inputs()
+        out1 = att(target, source, src, dst, attr).data
+        out2 = att(target, source, src, dst, Tensor(attr.data + 1.0)).data
+        assert not np.allclose(out1, out2)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MultiHeadSegmentAttention(5, 7, 3, num_heads=0, head_dim=4)
+
+
+class TestMeanSegmentAggregation:
+    def test_output_shape_and_zero_targets(self):
+        agg = MeanSegmentAggregation(7, 8)
+        target, source, src, dst, _ = make_inputs()
+        out = agg(target, source, src, dst)
+        assert out.shape == (4, 8)
+
+    def test_no_edges(self):
+        agg = MeanSegmentAggregation(7, 8)
+        target, source, _, _, _ = make_inputs()
+        out = agg(target, source, np.array([], dtype=int), np.array([], dtype=int))
+        assert np.allclose(out.data, 0.0)
+
+    def test_ignores_edge_attr(self):
+        agg = MeanSegmentAggregation(7, 8)
+        target, source, src, dst, attr = make_inputs()
+        out1 = agg(target, source, src, dst, attr).data
+        out2 = agg(target, source, src, dst, Tensor(attr.data * 5)).data
+        assert np.allclose(out1, out2)
+
+    def test_mean_of_identical_sources_is_message(self):
+        agg = MeanSegmentAggregation(3, 4)
+        source = Tensor(np.ones((2, 3)))
+        target = Tensor(np.zeros((1, 5)))
+        one = agg(target, source, np.array([0]), np.array([0])).data
+        two = agg(target, source, np.array([0, 1]), np.array([0, 0])).data
+        assert np.allclose(one, two)

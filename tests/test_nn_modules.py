@@ -1,0 +1,211 @@
+"""Module tree, Linear/Embedding/Dropout/MLP behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Dropout,
+    Embedding,
+    Identity,
+    LeakyReLU,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    get_activation,
+    init,
+)
+from repro.tensor import Tensor
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_nested(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(2, 3)
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.free = Parameter(np.zeros(2), name="free")
+                self.layers = ModuleList([Linear(1, 1), Linear(1, 1)])
+                self.bank = {"a": Linear(2, 2)}
+
+        names = dict(Outer().named_parameters())
+        assert "inner.lin.weight" in names
+        assert "free" in names
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+        assert "bank.a.weight" in names
+
+    def test_num_parameters(self):
+        lin = Linear(4, 3)
+        assert lin.num_parameters() == 4 * 3 + 3
+
+    def test_zero_grad_clears_all(self):
+        lin = Linear(2, 2)
+        out = lin(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a, b = Linear(3, 2), Linear(3, 2)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_rejects_mismatch(self):
+        a = Linear(3, 2)
+        state = a.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_state_dict_rejects_shape_mismatch(self):
+        a = Linear(3, 2)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        mlp = MLP(2, [3], 1, dropout=0.5)
+        mlp.eval()
+        assert not mlp.dropout.training
+        mlp.train()
+        assert mlp.dropout.training
+
+
+class TestLinear:
+    def test_output_shape_and_bias(self):
+        lin = Linear(4, 2)
+        out = lin(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 2)
+        assert np.allclose(out.data, 0.0)  # zero input -> bias (zero init)
+
+    def test_no_bias(self):
+        lin = Linear(4, 2, bias=False)
+        assert lin.bias is None
+        assert lin.num_parameters() == 8
+
+    def test_gradients_flow(self):
+        lin = Linear(3, 2)
+        loss = (lin(Tensor(np.ones((4, 3)))) ** 2).sum()
+        loss.backward()
+        assert lin.weight.grad is not None
+        assert lin.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(5, 3)
+        out = emb(np.array([1, 1, 4]))
+        assert out.shape == (3, 3)
+        assert np.allclose(out.data[0], out.data[1])
+
+    def test_full_table(self):
+        emb = Embedding(5, 3)
+        assert emb().shape == (5, 3)
+
+    def test_out_of_range(self):
+        emb = Embedding(5, 3)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_scatter(self):
+        emb = Embedding(4, 2)
+        emb(np.array([1, 1])).sum().backward()
+        grad = emb.weight.grad
+        assert np.allclose(grad[1], 2.0)
+        assert np.allclose(grad[0], 0.0)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        d = Dropout(0.5)
+        d.eval()
+        x = Tensor(np.ones((10, 10)))
+        assert np.allclose(d(x).data, x.data)
+
+    def test_training_scales_survivors(self):
+        init.seed(0)
+        d = Dropout(0.5)
+        out = d(Tensor(np.ones((100, 100)))).data
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 2.0)
+        assert 0.3 < (out > 0).mean() < 0.7
+
+    def test_p_zero_is_identity(self):
+        d = Dropout(0.0)
+        x = Tensor(np.ones(5))
+        assert d(x) is x
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestMLP:
+    def test_shapes(self):
+        mlp = MLP(4, [8, 8], 2)
+        assert mlp(Tensor(np.zeros((3, 4)))).shape == (3, 2)
+
+    def test_no_hidden(self):
+        mlp = MLP(4, [], 2)
+        assert len(mlp.layers) == 1
+
+    def test_out_activation(self):
+        mlp = MLP(2, [], 1, out_activation="sigmoid")
+        out = mlp(Tensor(np.zeros((1, 2)))).data
+        assert np.allclose(out, 0.5)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("relu", ReLU),
+            ("leaky_relu", LeakyReLU),
+            ("sigmoid", Sigmoid),
+            ("tanh", Tanh),
+            ("identity", Identity),
+            ("none", Identity),
+        ],
+    )
+    def test_registry(self, name, cls):
+        assert isinstance(get_activation(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_activation("gelu")
+
+    def test_values(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        assert np.allclose(ReLU()(x).data, [0.0, 1.0])
+        assert np.allclose(Tanh()(x).data, np.tanh(x.data))
+        assert np.allclose(Identity()(x).data, x.data)
+
+
+class TestInit:
+    def test_seed_reproducible(self):
+        init.seed(7)
+        a = Linear(4, 4).weight.data.copy()
+        init.seed(7)
+        b = Linear(4, 4).weight.data.copy()
+        assert np.allclose(a, b)
+
+    def test_xavier_range(self):
+        w = init.xavier_uniform(100, 100)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= limit

@@ -1,0 +1,92 @@
+"""LayerNorm and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LayerNorm, Parameter
+from repro.optim import SGD, CosineLR, StepLR, WarmupLR
+from repro.tensor import Tensor, check_gradients
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(5, 8)))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_parameters_apply(self):
+        ln = LayerNorm(4)
+        ln.gain.data[:] = 2.0
+        ln.bias.data[:] = 1.0
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4)(Tensor(np.zeros((2, 5))))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+    def test_gradients(self):
+        ln = LayerNorm(5)
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 5)), requires_grad=True)
+        check_gradients(lambda x: ln(x).sum(), [x], atol=1e-4)
+
+    def test_parameter_gradients_flow(self):
+        ln = LayerNorm(5)
+        x = Tensor(np.random.default_rng(3).normal(size=(3, 5)))
+        ln(x).sum().backward()
+        assert ln.gain.grad is not None
+        assert ln.bias.grad is not None
+
+
+def make_optimizer(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_steps(self):
+        opt = make_optimizer(1.0)
+        schedule = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [schedule.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=1, gamma=0.0)
+
+
+class TestCosineLR:
+    def test_monotone_decay_to_min(self):
+        opt = make_optimizer(1.0)
+        schedule = CosineLR(opt, total_epochs=10, min_lr=0.1)
+        lrs = [schedule.step() for _ in range(12)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+        assert lrs[-1] == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineLR(make_optimizer(), total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineLR(make_optimizer(), total_epochs=5, min_lr=-1)
+
+
+class TestWarmupLR:
+    def test_ramps_then_constant(self):
+        opt = make_optimizer(1.0)
+        schedule = WarmupLR(opt, warmup_epochs=4)
+        assert opt.lr < 1.0  # immediately below base
+        lrs = [schedule.step() for _ in range(6)]
+        assert lrs[-1] == 1.0
+        assert all(a <= b + 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLR(make_optimizer(), warmup_epochs=0)

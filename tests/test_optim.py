@@ -1,0 +1,129 @@
+"""Optimizers, gradient clipping and losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Parameter
+from repro.optim import SGD, Adam, clip_grad_norm, l1_loss, l2_penalty, mse_loss
+from repro.tensor import Tensor
+
+
+def quadratic_step(opt, p):
+    """One optimisation step on f(p) = sum(p^2)."""
+    opt.zero_grad()
+    (p * p).sum().backward()
+    opt.step()
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        p = Parameter(np.array([10.0, -10.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(50):
+            quadratic_step(opt, p)
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.array([10.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                quadratic_step(opt, p)
+            return abs(p.data.item())
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data.item() < 1.0
+
+    def test_skips_none_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # no backward happened
+        assert p.data.item() == 1.0
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            quadratic_step(opt, p)
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_fits_linear_regression(self):
+        rng = np.random.default_rng(0)
+        X = Tensor(rng.normal(size=(64, 4)))
+        true_w = rng.normal(size=(4, 1))
+        y = Tensor(X.data @ true_w)
+        lin = Linear(4, 1)
+        opt = Adam(lin.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = mse_loss(lin(X), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-4
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * 3).sum().backward()
+        opt.step()
+        # With bias correction the first step is ~lr regardless of gradient scale.
+        assert np.isclose(p.data.item(), 1.0 - 0.1, atol=1e-6)
+
+
+class TestOptimizerValidation:
+    def test_empty_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_scales_down_large_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_ignores_none(self):
+        assert clip_grad_norm([Parameter(np.zeros(1))], 1.0) == 0.0
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_l1_value(self):
+        pred = Tensor(np.array([1.0, -2.0]))
+        assert l1_loss(pred, np.zeros(2)).item() == pytest.approx(1.5)
+
+    def test_l2_penalty(self):
+        p = Parameter(np.array([2.0, 1.0]))
+        assert l2_penalty([p], 0.5).item() == pytest.approx(2.5)
+
+    def test_l2_penalty_empty(self):
+        assert l2_penalty([], 0.5).item() == 0.0
+
+    def test_losses_are_differentiable(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        mse_loss(p * 1.0, np.zeros(2)).backward()
+        assert p.grad is not None

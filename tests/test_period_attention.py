@@ -1,0 +1,43 @@
+"""Time-attention interpretability API."""
+
+import numpy as np
+import pytest
+
+from repro.core import O2SiteRec, O2SiteRecConfig
+from repro.data.periods import NUM_PERIODS
+from repro.nn import init
+
+
+@pytest.fixture(scope="module")
+def model(micro_dataset, micro_split):
+    init.seed(0)
+    return O2SiteRec(
+        micro_dataset, micro_split, O2SiteRecConfig(capacity_dim=6, embedding_dim=20)
+    )
+
+
+class TestPeriodAttention:
+    def test_shape_and_normalisation(self, model, micro_split):
+        pairs = micro_split.test_pairs[:6]
+        attention = model.period_attention(pairs)
+        assert attention.shape == (6, NUM_PERIODS)
+        assert np.allclose(attention.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(attention >= 0)
+
+    def test_requires_time_attention(self, micro_dataset, micro_split):
+        init.seed(0)
+        no_sa = O2SiteRec(
+            micro_dataset,
+            micro_split,
+            O2SiteRecConfig(
+                capacity_dim=6, embedding_dim=20, time_attention=False
+            ),
+        )
+        with pytest.raises(ValueError):
+            no_sa.period_attention(micro_split.test_pairs[:2])
+
+    def test_last_weights_recorded(self, model, micro_split):
+        model.predict(micro_split.test_pairs[:3])
+        weights = model.recommender.time_attention.last_weights
+        assert weights is not None
+        assert weights.shape[0] == NUM_PERIODS

@@ -1,0 +1,122 @@
+"""Model checkpoints, terminal visualisation and the city CLI."""
+
+import numpy as np
+import pytest
+
+from repro import viz
+from repro.city.__main__ import main as city_main
+from repro.core import (
+    O2SiteRec,
+    O2SiteRecConfig,
+    load_config,
+    load_model,
+    save_model,
+)
+from repro.geo import RegionGrid
+from repro.nn import init
+
+
+class TestSerialization:
+    @pytest.fixture()
+    def model(self, micro_dataset, micro_split):
+        init.seed(4)
+        return O2SiteRec(
+            micro_dataset,
+            micro_split,
+            O2SiteRecConfig(capacity_dim=6, embedding_dim=20),
+        )
+
+    def test_roundtrip_preserves_predictions(
+        self, model, micro_dataset, micro_split, tmp_path
+    ):
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path, micro_dataset, micro_split)
+        pairs = micro_split.test_pairs[:10]
+        assert np.allclose(model.predict(pairs), restored.predict(pairs))
+
+    def test_config_embedded(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        config = load_config(path)
+        assert config == model.config
+
+    def test_rejects_non_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not an O2-SiteRec checkpoint"):
+            load_config(path)
+
+
+class TestViz:
+    @pytest.fixture()
+    def grid(self):
+        return RegionGrid(3, 4)
+
+    def test_heatmap_dimensions(self, grid):
+        values = np.arange(grid.num_regions, dtype=float)
+        text = viz.ascii_heatmap(grid, values, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + grid.rows + 1  # title + rows + legend
+        assert all(len(line) == grid.cols * 2 for line in lines[1:-1])
+
+    def test_heatmap_extremes(self, grid):
+        values = np.zeros(grid.num_regions)
+        values[0] = 1.0
+        text = viz.ascii_heatmap(grid, values, legend=False)
+        assert "@" in text and " " in text
+
+    def test_heatmap_constant_values(self, grid):
+        text = viz.ascii_heatmap(grid, np.ones(grid.num_regions), legend=False)
+        assert text  # no division by zero
+
+    def test_heatmap_shape_check(self, grid):
+        with pytest.raises(ValueError):
+            viz.ascii_heatmap(grid, np.zeros(5))
+
+    def test_categorical_map(self, grid):
+        labels = np.arange(grid.num_regions) % 3
+        text = viz.categorical_map(grid, labels)
+        assert len(set(text.replace("\n", ""))) == 3
+
+    def test_loss_curve(self):
+        losses = np.linspace(1.0, 0.1, 50)
+        text = viz.loss_curve(losses, width=20, height=5, title="loss")
+        assert "loss" in text
+        assert "*" in text
+        assert "(50 epochs)" in text
+
+    def test_loss_curve_validation(self):
+        with pytest.raises(ValueError):
+            viz.loss_curve([])
+        with pytest.raises(ValueError):
+            viz.loss_curve([1.0], width=1)
+
+
+class TestCityCli:
+    def test_custom_city_to_csv(self, tmp_path, capsys):
+        rc = city_main(
+            [
+                "--rows", "5", "--cols", "5", "--days", "2",
+                "--couriers", "30", "--out-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "orders.csv").exists()
+        assert (tmp_path / "stores.csv").exists()
+
+        from repro.data import load_orders, load_stores
+
+        orders = load_orders(tmp_path / "orders.csv")
+        stores = load_stores(tmp_path / "stores.csv")
+        assert len(orders) > 0 and len(stores) > 0
+
+    def test_preset_real(self, tmp_path, capsys):
+        rc = city_main(
+            ["--preset", "real", "--scale", "0.4", "--out-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert (tmp_path / "orders.csv").exists()

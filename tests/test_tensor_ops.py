@@ -1,0 +1,246 @@
+"""Forward-value and shape behaviour of the tensor ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    gather_rows,
+    ones,
+    segment_counts,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    softmax,
+    stack,
+    unbroadcast,
+    where,
+    zeros,
+)
+
+
+class TestConstruction:
+    def test_wraps_array_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_from_scalar(self):
+        t = as_tensor(2.5)
+        assert t.item() == 2.5
+
+    def test_requires_grad_propagates_from_parents(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 3)))
+        assert len(t) == 4
+        assert t.size == 12
+        assert t.ndim == 2
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = (a * 2).detach()
+        assert not d.requires_grad
+
+    def test_zeros_ones_helpers(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones(2).data.sum() == 2.0
+
+
+class TestArithmetic:
+    def test_add_broadcasts(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.ones(3))
+        assert np.allclose((a + b).data, 2.0)
+
+    def test_radd_rsub_rmul_rdiv(self):
+        a = Tensor([2.0])
+        assert (1 + a).item() == 3.0
+        assert (5 - a).item() == 3.0
+        assert (3 * a).item() == 6.0
+        assert (8 / a).item() == 4.0
+
+    def test_neg(self):
+        assert (-Tensor([1.5])).item() == -1.5
+
+    def test_pow_scalar_only(self):
+        t = Tensor([2.0])
+        assert (t**3).item() == 8.0
+        with pytest.raises(TypeError):
+            t ** np.array([1.0, 2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        b = Tensor(np.arange(12.0).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_vector_cases(self):
+        v = Tensor(np.array([1.0, 2.0]))
+        m = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert np.allclose((v @ m).data, v.data)
+        assert np.allclose((m @ v).data, v.data)
+        assert (v @ v).item() == 5.0
+
+
+class TestElementwise:
+    def test_exp_log_roundtrip(self):
+        t = Tensor([0.5, 1.0, 2.0])
+        assert np.allclose(t.exp().log().data, t.data)
+
+    def test_relu_zeroes_negatives(self):
+        t = Tensor([-1.0, 0.0, 2.0])
+        assert np.allclose(t.relu().data, [0.0, 0.0, 2.0])
+
+    def test_leaky_relu_slope(self):
+        t = Tensor([-10.0, 10.0])
+        assert np.allclose(t.leaky_relu(0.1).data, [-1.0, 10.0])
+
+    def test_sigmoid_range_and_saturation(self):
+        t = Tensor([-1000.0, 0.0, 1000.0])
+        out = t.sigmoid().data
+        assert np.all((out >= 0) & (out <= 1))
+        assert out[1] == 0.5
+
+    def test_tanh(self):
+        assert np.allclose(Tensor([0.0]).tanh().data, 0.0)
+
+    def test_abs_and_sqrt(self):
+        assert np.allclose(Tensor([-2.0, 3.0]).abs().data, [2.0, 3.0])
+        assert np.allclose(Tensor([4.0]).sqrt().data, 2.0)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.ones((2, 3)))
+        assert t.sum().item() == 6.0
+        assert t.sum(axis=0).shape == (3,)
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean(self):
+        t = Tensor(np.arange(4.0))
+        assert t.mean().item() == 1.5
+        assert t.reshape(2, 2).mean(axis=0).shape == (2,)
+
+    def test_max(self):
+        t = Tensor(np.array([[1.0, 5.0], [3.0, 2.0]]))
+        assert t.max().item() == 5.0
+        assert np.allclose(t.max(axis=1).data, [5.0, 3.0])
+
+
+class TestShapes:
+    def test_reshape_and_tuple_form(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_default_and_axes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.T.shape == (4, 3, 2)
+        assert t.transpose(1, 0, 2).shape == (3, 2, 4)
+
+    def test_expand_squeeze(self):
+        t = Tensor(np.zeros((3,)))
+        e = t.expand_dims(0)
+        assert e.shape == (1, 3)
+        assert e.squeeze(0).shape == (3,)
+
+    def test_getitem_row(self):
+        t = Tensor(np.arange(9.0).reshape(3, 3))
+        assert np.allclose(t[1].data, [3.0, 4.0, 5.0])
+
+
+class TestUnbroadcast:
+    def test_identity_when_same_shape(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_added_leading_axes(self):
+        g = np.ones((4, 2, 3))
+        assert unbroadcast(g, (2, 3)).sum() == 24.0
+
+    def test_sums_stretched_axes(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.allclose(out, 3.0)
+
+
+class TestConcatStack:
+    def test_concat_values(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        assert out.data[:, :2].sum() == 4.0
+
+    def test_stack_new_axis(self):
+        a = Tensor(np.ones(3))
+        out = stack([a, a, a], axis=0)
+        assert out.shape == (3, 3)
+
+
+class TestSegmentOps:
+    def test_gather_rows(self):
+        t = Tensor(np.arange(6.0).reshape(3, 2))
+        out = gather_rows(t, np.array([2, 0, 2]))
+        assert np.allclose(out.data, [[4, 5], [0, 1], [4, 5]])
+
+    def test_segment_sum_values(self):
+        data = Tensor(np.ones((4, 2)))
+        out = segment_sum(data, np.array([0, 0, 1, 3]), 4)
+        assert np.allclose(out.data[:, 0], [2, 1, 0, 1])
+
+    def test_segment_sum_length_mismatch(self):
+        with pytest.raises(ValueError):
+            segment_sum(Tensor(np.ones((3, 2))), np.array([0, 1]), 2)
+
+    def test_segment_mean_empty_segment_is_zero(self):
+        out = segment_mean(Tensor(np.ones((2, 1)) * 4), np.array([0, 0]), 3)
+        assert np.allclose(out.data[:, 0], [4.0, 0.0, 0.0])
+
+    def test_segment_counts(self):
+        assert np.allclose(segment_counts(np.array([0, 2, 2]), 4), [1, 0, 2, 0])
+
+    def test_segment_softmax_sums_to_one_per_segment(self):
+        ids = np.array([0, 0, 1, 1, 1])
+        out = segment_softmax(Tensor(np.random.default_rng(0).normal(size=5)), ids, 2)
+        sums = np.zeros(2)
+        np.add.at(sums, ids, out.data)
+        assert np.allclose(sums, 1.0)
+
+    def test_segment_softmax_multihead(self):
+        ids = np.array([0, 0, 1])
+        scores = Tensor(np.zeros((3, 4)))
+        out = segment_softmax(scores, ids, 2)
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[0], 0.5)
+        assert np.allclose(out.data[2], 1.0)
+
+    def test_segment_softmax_extreme_scores_stable(self):
+        ids = np.array([0, 0])
+        out = segment_softmax(Tensor(np.array([1000.0, -1000.0])), ids, 1)
+        assert np.allclose(out.data, [1.0, 0.0])
+
+
+class TestSoftmaxWhere:
+    def test_softmax_rows_sum_to_one(self):
+        out = softmax(Tensor(np.random.default_rng(1).normal(size=(4, 5))))
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_softmax_axis0(self):
+        out = softmax(Tensor(np.zeros((2, 3))), axis=0)
+        assert np.allclose(out.data, 0.5)
+
+    def test_where_select(self):
+        cond = np.array([True, False])
+        out = where(cond, Tensor([1.0, 1.0]), Tensor([9.0, 9.0]))
+        assert np.allclose(out.data, [1.0, 9.0])

@@ -1,0 +1,53 @@
+"""Trainer integration with learning-rate schedules."""
+
+import pytest
+
+from repro.core import O2SiteRec, O2SiteRecConfig, TrainConfig, Trainer
+from repro.nn import init
+
+
+@pytest.fixture()
+def model(micro_dataset, micro_split):
+    init.seed(0)
+    return O2SiteRec(
+        micro_dataset, micro_split, O2SiteRecConfig(capacity_dim=6, embedding_dim=20)
+    )
+
+
+class TestTrainerSchedules:
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            TrainConfig(schedule="exponential")
+
+    def test_cosine_lowers_lr(self, model, micro_dataset, micro_split):
+        config = TrainConfig(epochs=6, lr=1e-2, schedule="cosine", patience=100)
+        trainer = Trainer(model, config)
+        trainer.fit(
+            micro_split.train_pairs,
+            micro_dataset.pair_targets(micro_split.train_pairs),
+        )
+        assert trainer.optimizer.lr < 1e-2
+
+    def test_step_schedule_constructed(self, model):
+        trainer = Trainer(model, TrainConfig(epochs=9, lr=1e-2, schedule="step"))
+        assert trainer.schedule is not None
+        assert trainer.schedule.step_size == 3
+
+    def test_none_schedule_keeps_lr(self, model, micro_dataset, micro_split):
+        config = TrainConfig(epochs=3, lr=1e-2, patience=100)
+        trainer = Trainer(model, config)
+        trainer.fit(
+            micro_split.train_pairs,
+            micro_dataset.pair_targets(micro_split.train_pairs),
+        )
+        assert trainer.optimizer.lr == 1e-2
+
+    def test_training_still_converges_with_schedule(
+        self, model, micro_dataset, micro_split
+    ):
+        config = TrainConfig(epochs=10, lr=1e-2, schedule="cosine", patience=100)
+        result = Trainer(model, config).fit(
+            micro_split.train_pairs,
+            micro_dataset.pair_targets(micro_split.train_pairs),
+        )
+        assert result.train_losses[-1] < result.train_losses[0]
