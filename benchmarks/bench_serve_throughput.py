@@ -1,0 +1,166 @@
+"""Serving throughput: cold model.predict vs frozen snapshot vs micro-batching.
+
+The cold path re-runs the full per-period multi-graph propagation for every
+query; a :class:`repro.serve.ModelSnapshot` freezes the propagation outputs
+once, so a query is a gather + small matmuls.  This bench measures, on the
+real-city preset:
+
+1. cold   -- ``model.predict`` on a single (region, type) pair;
+2. snap   -- ``snapshot.predict`` on the same pair (must be >= 10x faster);
+3. serve  -- concurrent top-k queries through ``RecommendationService``
+             with the cache off (micro-batched scoring) and on (cache hits).
+
+Writes p50/p99 latency and QPS rows to ``benchmarks/results/serve.txt``.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from common import emit, motivation_city, run_once
+
+from repro.core import O2SiteRec, save_model
+from repro.data import SiteRecDataset
+from repro.nn import init
+from repro.serve import ModelSnapshot, RecommendationService
+
+COLD_REPS = 5
+SNAP_REPS = 200
+SERVE_QUERIES = 160
+SERVE_THREADS = 8
+CANDIDATES_PER_QUERY = 32
+
+
+def _percentiles_ms(latencies):
+    ordered = np.sort(np.asarray(latencies))
+    return (
+        float(np.percentile(ordered, 50) * 1e3),
+        float(np.percentile(ordered, 99) * 1e3),
+    )
+
+
+def _time_repeated(fn, reps):
+    latencies = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+def _serve_load(service, snapshot, cached: bool):
+    """Concurrent top-k queries; rotating inputs unless ``cached``."""
+    regions = snapshot.candidate_regions()
+    num_types = snapshot.num_types
+    latencies = [None] * SERVE_QUERIES
+
+    def one(i: int) -> None:
+        if cached:
+            store_type, offset = 0, 0  # identical query -> cache hit
+        else:
+            store_type, offset = i % num_types, i % max(
+                len(regions) - CANDIDATES_PER_QUERY, 1
+            )
+        candidates = regions[offset:offset + CANDIDATES_PER_QUERY]
+        started = time.perf_counter()
+        service.query(store_type, candidates, k=3)
+        latencies[i] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(SERVE_THREADS) as pool:
+        list(pool.map(one, range(SERVE_QUERIES)))
+    elapsed = time.perf_counter() - started
+    return latencies, SERVE_QUERIES / elapsed
+
+
+def _experiment(tmp_dir):
+    sim = motivation_city()
+    dataset = SiteRecDataset.from_simulation(sim)
+    split = dataset.split(seed=0)
+    init.seed(11)
+    model = O2SiteRec(dataset, split)  # untrained weights; latency-identical
+
+    # The deployment path under test: checkpoint -> frozen snapshot.
+    ckpt = tmp_dir / "model.npz"
+    save_model(model, ckpt)
+    snapshot = ModelSnapshot.from_checkpoint(ckpt, dataset, split)
+
+    pair = np.stack(
+        [snapshot.candidate_regions()[:1], np.zeros(1, dtype=np.int64)], axis=1
+    )
+    assert np.array_equal(model.predict(pair), snapshot.predict(pair))
+
+    cold = _time_repeated(lambda: model.predict(pair), COLD_REPS)
+    snap = _time_repeated(lambda: snapshot.predict(pair), SNAP_REPS)
+
+    with RecommendationService(
+        snapshot,
+        max_batch_size=32,
+        batch_window_ms=1.0,
+        num_workers=2,
+        cache_entries=0,  # measure the scoring path, not the cache
+    ) as uncached_service:
+        uncached, uncached_qps = _serve_load(
+            uncached_service, snapshot, cached=False
+        )
+        batches = uncached_service.metrics.counter("batches")
+        batched_requests = uncached_service.metrics.counter("batched_requests")
+
+    with RecommendationService(
+        snapshot, max_batch_size=32, batch_window_ms=1.0, num_workers=2
+    ) as cached_service:
+        cached_service.query(0, snapshot.candidate_regions()[:CANDIDATES_PER_QUERY])
+        cached, cached_qps = _serve_load(cached_service, snapshot, cached=True)
+        hit_rate = cached_service.cache.hits / max(
+            cached_service.cache.hits + cached_service.cache.misses, 1
+        )
+
+    return {
+        "dataset": (
+            f"{snapshot.num_store_nodes} store nodes, {snapshot.num_types} "
+            f"types, d2={snapshot.embedding_dim}, {snapshot.num_periods} periods"
+        ),
+        "cold": cold,
+        "snap": snap,
+        "uncached": (uncached, uncached_qps, batches, batched_requests),
+        "cached": (cached, cached_qps, hit_rate),
+    }
+
+
+def test_serve_throughput(benchmark, tmp_path):
+    results = run_once(benchmark, lambda: _experiment(tmp_path))
+
+    cold_p50, cold_p99 = _percentiles_ms(results["cold"])
+    snap_p50, snap_p99 = _percentiles_ms(results["snap"])
+    uncached, uncached_qps, batches, batched_requests = results["uncached"]
+    un_p50, un_p99 = _percentiles_ms(uncached)
+    cached, cached_qps, hit_rate = results["cached"]
+    ca_p50, ca_p99 = _percentiles_ms(cached)
+    speedup = cold_p50 / snap_p50
+
+    lines = [
+        "Serving throughput -- cold model.predict vs repro.serve snapshot",
+        f"city: real preset ({results['dataset']})",
+        "",
+        f"{'path':<42}{'p50 ms':>10}{'p99 ms':>10}{'QPS':>10}",
+        f"{'cold  model.predict (1 pair)':<42}{cold_p50:>10.2f}{cold_p99:>10.2f}"
+        f"{1e3 / cold_p50:>10.1f}",
+        f"{'snap  snapshot.predict (1 pair)':<42}{snap_p50:>10.3f}{snap_p99:>10.3f}"
+        f"{1e3 / snap_p50:>10.1f}",
+        f"{'serve query k=3/32 cand, 8 thr, no cache':<42}{un_p50:>10.3f}{un_p99:>10.3f}"
+        f"{uncached_qps:>10.1f}",
+        f"{'serve query k=3/32 cand, 8 thr, cached':<42}{ca_p50:>10.3f}"
+        f"{ca_p99:>10.3f}{cached_qps:>10.1f}",
+        "",
+        f"snapshot speedup over cold path: {speedup:.0f}x (threshold 10x)",
+        f"micro-batching: {batched_requests} requests in {batches} batches "
+        f"({batched_requests / max(batches, 1):.1f} req/batch)",
+        f"cache hit rate under repeated load: {hit_rate:.0%}",
+    ]
+    emit("serve", "\n".join(lines))
+
+    # The acceptance bar: precomputed serving is >= 10x the cold path.
+    assert speedup >= 10.0
+    # Micro-batching actually merged concurrent work.
+    assert batches < batched_requests

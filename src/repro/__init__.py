@@ -33,6 +33,7 @@ from . import (
     metrics,
     nn,
     optim,
+    serve,
     tensor,
 )
 
@@ -51,5 +52,6 @@ __all__ = [
     "metrics",
     "extensions",
     "experiments",
+    "serve",
     "__version__",
 ]

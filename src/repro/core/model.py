@@ -213,6 +213,29 @@ class O2SiteRec(Module):
             if was_training:
                 self.train()
 
+    def export_embeddings(self) -> Dict[TimePeriod, Tuple[np.ndarray, np.ndarray]]:
+        """Frozen per-period propagation outputs ``{period: (h, q)}``.
+
+        Runs the capacity pass and the full multi-graph propagation once in
+        eval mode (dropout off) and returns plain numpy copies of the
+        store-region and store-type embeddings for every period.  These are
+        query-independent: scoring any (region, type) pair afterwards only
+        needs a gather + time attention + the predictor MLP, which is what
+        :class:`repro.serve.ModelSnapshot` exploits.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            capacity_su, _ = self._capacity_pass()
+            per_period = self.recommender.propagate_periods(capacity_su)
+            return {
+                period: (h.data.copy(), q.data.copy())
+                for period, (h, q) in per_period.items()
+            }
+        finally:
+            if was_training:
+                self.train()
+
     def period_attention(self, pairs: np.ndarray) -> np.ndarray:
         """Attention over periods per pair, shape ``(K, P)``.
 

@@ -21,7 +21,7 @@ Ablations: ``node_attention=False`` swaps ``Aggre`` for mean aggregation
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -243,6 +243,22 @@ class HeteroRecommender(Module):
             )
         return h, q
 
+    def propagate_periods(
+        self, capacity_su: Optional[Dict[TimePeriod, Tensor]] = None
+    ) -> Dict[TimePeriod, Tuple[Tensor, Tensor]]:
+        """Steps 2-3 for every period: ``{period: (h, q)}``.
+
+        The propagation is completely query-independent -- only the final
+        gather + time attention + predictor depend on the requested pairs --
+        so these outputs can be frozen once per trained model and reused for
+        every online query (see :mod:`repro.serve`).
+        """
+        out: Dict[TimePeriod, Tuple[Tensor, Tensor]] = {}
+        for period in TimePeriod:
+            cap = capacity_su.get(period) if capacity_su else None
+            out[period] = self._propagate(period, cap)
+        return out
+
     def forward(
         self,
         pairs_store_idx: np.ndarray,
@@ -251,9 +267,9 @@ class HeteroRecommender(Module):
     ) -> Tensor:
         """Predict normalised order counts for (store-node, type) pairs."""
         per_period: List[Tensor] = []
+        per_period_hq = self.propagate_periods(capacity_su)
         for period in TimePeriod:
-            cap = capacity_su.get(period) if capacity_su else None
-            h_t, q_t = self._propagate(period, cap)
+            h_t, q_t = per_period_hq[period]
             h_pairs = gather_rows(h_t, pairs_store_idx)
             q_pairs = gather_rows(q_t, pairs_type)
             blocks = [h_pairs, q_pairs]

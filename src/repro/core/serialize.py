@@ -27,9 +27,23 @@ _VERSION_KEY = "__format_version__"
 _FORMAT_VERSION = 1
 
 
+def _npz_path(path: PathLike) -> Path:
+    """Normalise a checkpoint path to carry the ``.npz`` suffix.
+
+    ``np.savez`` silently appends ``.npz`` when the path lacks it, so
+    without this, ``save_model(m, "ckpt")`` writes ``ckpt.npz`` while
+    ``load_model("ckpt", ...)`` looks for ``ckpt`` and fails.  Both sides
+    normalise through here instead.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_model(model: O2SiteRec, path: PathLike) -> None:
     """Write the model's parameters and config to ``path`` (.npz)."""
-    path = Path(path)
+    path = _npz_path(path)
     state = model.state_dict()
     config_json = json.dumps(dataclasses.asdict(model.config))
     np.savez(
@@ -44,7 +58,7 @@ def save_model(model: O2SiteRec, path: PathLike) -> None:
 
 def load_config(path: PathLike) -> O2SiteRecConfig:
     """Read just the configuration out of a checkpoint."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    with np.load(_npz_path(path), allow_pickle=False) as archive:
         if _CONFIG_KEY not in archive:
             raise ValueError(f"{path} is not an O2-SiteRec checkpoint")
         raw = json.loads(str(archive[_CONFIG_KEY]))
@@ -62,7 +76,7 @@ def load_model(
     with (same city, same fold); otherwise parameter shapes will not line
     up and a ``ValueError``/``KeyError`` is raised by the state loading.
     """
-    path = Path(path)
+    path = _npz_path(path)
     config = load_config(path)
     model = O2SiteRec(dataset, split, config)
     with np.load(path, allow_pickle=False) as archive:

@@ -1,0 +1,37 @@
+"""Online serving for O2-SiteRec: precomputed embeddings, micro-batching,
+hot-swappable snapshots.
+
+The training-side model re-runs the full multi-graph propagation on every
+``predict`` call; this package separates the expensive, query-independent
+representation building from the cheap per-request scoring:
+
+* :class:`ModelSnapshot` -- runs propagation once and freezes per-period
+  embeddings + head weights; scoring is a gather + small matmuls and is
+  bit-for-bit identical to ``O2SiteRec.predict``.
+* :class:`RecommendationService` -- top-k query API with candidate
+  filters, an LRU+TTL score cache, a micro-batching request queue and
+  atomic snapshot hot swap (``service.reload``).
+* ``python -m repro.serve`` -- loads a checkpoint or snapshot and serves
+  a line-protocol loop or a small HTTP API.
+"""
+
+from .batching import MicroBatcher
+from .cache import ScoreCache, candidate_digest
+from .metrics import LatencyHistogram, ServiceMetrics
+from .protocol import handle_line, make_http_handler, serve_http, serve_lines
+from .service import RecommendationService
+from .snapshot import ModelSnapshot
+
+__all__ = [
+    "ModelSnapshot",
+    "RecommendationService",
+    "MicroBatcher",
+    "ScoreCache",
+    "candidate_digest",
+    "ServiceMetrics",
+    "LatencyHistogram",
+    "handle_line",
+    "serve_lines",
+    "serve_http",
+    "make_http_handler",
+]

@@ -1,0 +1,140 @@
+"""Command-line serving entry point.
+
+Serve a dataset-free snapshot over stdin/stdout (line protocol):
+
+    python -m repro.serve --snapshot snap.npz
+
+Serve over HTTP:
+
+    python -m repro.serve --snapshot snap.npz --http 8080
+
+Export a snapshot from a training checkpoint (rebuilds the dataset from a
+city preset; the preset/seed/split-seed must match training):
+
+    python -m repro.serve --checkpoint ckpt.npz --preset tiny \
+        --export-snapshot snap.npz
+
+Run one command and exit (useful for scripting/smoke tests):
+
+    python -m repro.serve --snapshot snap.npz --once "QUERY 2 K=3"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .protocol import handle_line, serve_http, serve_lines
+from .service import RecommendationService
+from .snapshot import ModelSnapshot
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve O2-SiteRec store-site recommendations online.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--snapshot", type=Path, help="dataset-free ModelSnapshot .npz"
+    )
+    source.add_argument(
+        "--checkpoint", type=Path, help="save_model checkpoint .npz"
+    )
+    parser.add_argument(
+        "--preset",
+        choices=["tiny", "real", "sim"],
+        default="tiny",
+        help="city preset used to rebuild the checkpoint's dataset",
+    )
+    parser.add_argument("--seed", type=int, default=3, help="preset seed")
+    parser.add_argument("--scale", type=float, default=1.0, help="preset scale")
+    parser.add_argument(
+        "--split-seed", type=int, default=0, help="interaction split seed"
+    )
+    parser.add_argument(
+        "--export-snapshot",
+        type=Path,
+        default=None,
+        help="freeze the checkpoint to this snapshot file and exit",
+    )
+    parser.add_argument("--http", type=int, default=None, metavar="PORT")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--once", default=None, metavar="COMMAND")
+    parser.add_argument("--default-k", type=int, default=3)
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--batch-window-ms", type=float, default=2.0)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--cache-entries", type=int, default=512)
+    parser.add_argument("--cache-ttl-s", type=float, default=300.0)
+    return parser
+
+
+def _load_snapshot(args: argparse.Namespace) -> ModelSnapshot:
+    if args.snapshot is not None:
+        return ModelSnapshot.load(args.snapshot)
+
+    from ..city import real_world_dataset, simulation_dataset, tiny_dataset
+    from ..data import SiteRecDataset
+
+    if args.preset == "tiny":
+        sim = tiny_dataset(seed=args.seed)
+    elif args.preset == "real":
+        sim = real_world_dataset(seed=args.seed, scale=args.scale)
+    else:
+        sim = simulation_dataset(seed=args.seed, scale=args.scale)
+    dataset = SiteRecDataset.from_simulation(sim)
+    split = dataset.split(seed=args.split_seed)
+    return ModelSnapshot.from_checkpoint(args.checkpoint, dataset, split)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    snapshot = _load_snapshot(args)
+
+    if args.export_snapshot is not None:
+        path = snapshot.save(args.export_snapshot)
+        print(f"wrote snapshot {snapshot.snapshot_id} to {path}")
+        return 0
+
+    service = RecommendationService(
+        snapshot,
+        default_k=args.default_k,
+        max_batch_size=args.max_batch_size,
+        batch_window_ms=args.batch_window_ms,
+        num_workers=args.workers,
+        cache_entries=args.cache_entries,
+        cache_ttl_s=args.cache_ttl_s,
+    )
+    try:
+        if args.once is not None:
+            response, _ = handle_line(service, args.once)
+            print(response)
+            return 0 if not response.startswith("ERR") else 1
+        if args.http is not None:
+            server = serve_http(service, host=args.host, port=args.http)
+            print(
+                f"serving snapshot {snapshot.snapshot_id} "
+                f"on http://{args.host}:{args.http}"
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                pass
+            finally:
+                server.server_close()
+            return 0
+        print(
+            f"serving snapshot {snapshot.snapshot_id} on stdin "
+            "(PING / TYPES / QUERY / STATS / RELOAD / QUIT)",
+            file=sys.stderr,
+        )
+        serve_lines(service, sys.stdin, sys.stdout)
+        return 0
+    finally:
+        service.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

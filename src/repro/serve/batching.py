@@ -1,0 +1,160 @@
+"""Micro-batching request queue for the recommendation service.
+
+Concurrent callers submit (region, type) pair blocks and receive futures.
+Worker threads drain the queue: the first request opens a batch, then the
+worker keeps collecting until either ``max_batch_size`` requests are in
+hand or ``batch_window_s`` has elapsed, concatenates everything into one
+pair array, runs a single vectorised scoring pass, and splits the scores
+back out to each caller's future.  Under concurrent load this turns N
+per-request scoring passes into one, which is where the throughput of
+``repro.serve`` comes from (numpy also releases the GIL inside the large
+matmuls, so workers overlap with callers).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional
+
+import numpy as np
+
+_SENTINEL = object()
+
+
+class _Request:
+    __slots__ = ("pairs", "future", "enqueued_at")
+
+    def __init__(self, pairs: np.ndarray, enqueued_at: float) -> None:
+        self.pairs = pairs
+        self.future: "Future[np.ndarray]" = Future()
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Batches concurrent scoring requests into shared vectorised passes.
+
+    ``score_fn`` maps a ``(K, 2)`` pair array to ``(K,)`` scores.  Metrics
+    (optional) receive per-stage latencies (``queue``, ``score``) and the
+    counters ``batches`` / ``batched_requests`` / ``batched_pairs``.
+    """
+
+    def __init__(
+        self,
+        score_fn: Callable[[np.ndarray], np.ndarray],
+        *,
+        max_batch_size: int = 32,
+        batch_window_s: float = 0.002,
+        num_workers: int = 1,
+        metrics=None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._score_fn = score_fn
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self._metrics = metrics
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._run, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, pairs: np.ndarray) -> "Future[np.ndarray]":
+        """Enqueue a pair block; the future resolves to its score vector."""
+        if self._closed:
+            raise RuntimeError("MicroBatcher is closed")
+        request = _Request(
+            np.asarray(pairs, dtype=np.int64), time.monotonic()
+        )
+        self._queue.put(request)
+        return request.future
+
+    def score(self, pairs: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(pairs).result(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop the workers after the queue drains."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _collect(self, first: "_Request") -> List["_Request"]:
+        """Gather a batch starting from ``first`` (window + size caps)."""
+        batch = [first]
+        deadline = time.monotonic() + self.batch_window_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                # Not ours to consume mid-batch: hand it back for the
+                # outer loop (possibly of another worker).
+                self._queue.put(_SENTINEL)
+                break
+            batch.append(item)
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            batch = self._collect(item)
+            started = time.monotonic()
+            if self._metrics is not None:
+                for request in batch:
+                    self._metrics.observe(
+                        "queue", started - request.enqueued_at
+                    )
+            pairs = (
+                batch[0].pairs
+                if len(batch) == 1
+                else np.concatenate([r.pairs for r in batch], axis=0)
+            )
+            try:
+                scores = np.asarray(self._score_fn(pairs))
+            except Exception as exc:  # propagate to every caller
+                for request in batch:
+                    request.future.set_exception(exc)
+                continue
+            elapsed = time.monotonic() - started
+            if self._metrics is not None:
+                self._metrics.observe("score", elapsed)
+                self._metrics.increment("batches")
+                self._metrics.increment("batched_requests", len(batch))
+                self._metrics.increment("batched_pairs", len(pairs))
+            offset = 0
+            for request in batch:
+                n = len(request.pairs)
+                request.future.set_result(scores[offset:offset + n])
+                offset += n

@@ -1,0 +1,97 @@
+"""LRU + TTL cache for candidate-set score vectors.
+
+Keys are ``(snapshot_id, store_type, candidate-set digest)`` -- including
+the snapshot id means entries computed against an old model can never be
+served after a hot swap, even if the service forgot to clear the cache.
+Values are the raw score vectors (numpy arrays) aligned with the candidate
+order, so any ``k`` can be answered from one cached entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+
+def candidate_digest(candidates: np.ndarray) -> str:
+    """Stable digest of a candidate-region array (order-sensitive)."""
+    data = np.ascontiguousarray(candidates, dtype=np.int64)
+    return hashlib.sha1(data.tobytes()).hexdigest()[:16]
+
+
+class ScoreCache:
+    """Thread-safe LRU cache whose entries also expire after ``ttl_s``.
+
+    ``max_entries=0`` disables storage entirely (every ``get`` misses),
+    which benchmarks use to measure the uncached path.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_s: float = 300.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._clock = clock or time.monotonic
+        self._data: "OrderedDict[Hashable, Tuple[float, np.ndarray]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            expires_at, value = entry
+            if self._clock() >= expires_at:
+                del self._data[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: np.ndarray) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._data[key] = (self._clock() + self.ttl_s, value)
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+            }

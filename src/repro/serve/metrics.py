@@ -1,0 +1,142 @@
+"""Serving instrumentation: latency histograms, counters, QPS.
+
+Everything is thread-safe (one lock per object) and allocation-light so it
+can sit on the hot path.  Histograms use fixed log-spaced buckets from 1 µs
+to 10 s -- percentile queries return the upper bound of the bucket the
+requested rank falls in, the usual monitoring-system semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+# 4 buckets per decade, 1e-6 s .. 10 s (then +inf).
+_BUCKET_BOUNDS = tuple(
+    10.0 ** (-6 + i / 4.0) for i in range(4 * 7 + 1)
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram over seconds."""
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        idx = bisect.bisect_left(_BUCKET_BOUNDS, seconds)
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def percentile(self, p: float) -> float:
+        """Latency (seconds) at percentile ``p`` in [0, 100]."""
+        with self._lock:
+            if not self.count:
+                return 0.0
+            rank = p / 100.0 * self.count
+            cumulative = 0
+            for i, n in enumerate(self._counts):
+                cumulative += n
+                if cumulative >= rank and n:
+                    if i < len(_BUCKET_BOUNDS):
+                        return _BUCKET_BOUNDS[i]
+                    return self.max
+            return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+            "max_ms": self.max * 1e3,
+        }
+
+
+class ServiceMetrics:
+    """Counters + per-stage latency histograms + a sliding QPS window."""
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        qps_window_s: float = 60.0,
+    ) -> None:
+        self._clock = clock or time.monotonic
+        self._qps_window_s = qps_window_s
+        self._started = self._clock()
+        self._request_times: deque = deque()
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._counters: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- recording ------------------------------------------------------
+    def observe(self, stage: str, seconds: float) -> None:
+        self.histogram(stage).observe(seconds)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def mark_request(self) -> None:
+        now = self._clock()
+        with self._lock:
+            self._request_times.append(now)
+            cutoff = now - self._qps_window_s
+            while self._request_times and self._request_times[0] < cutoff:
+                self._request_times.popleft()
+
+    # -- reading --------------------------------------------------------
+    def histogram(self, stage: str) -> LatencyHistogram:
+        with self._lock:
+            hist = self._histograms.get(stage)
+            if hist is None:
+                hist = self._histograms[stage] = LatencyHistogram()
+            return hist
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def qps(self) -> float:
+        """Requests per second over the sliding window."""
+        now = self._clock()
+        with self._lock:
+            cutoff = now - self._qps_window_s
+            while self._request_times and self._request_times[0] < cutoff:
+                self._request_times.popleft()
+            if not self._request_times:
+                return 0.0
+            span = now - self._request_times[0]
+            if span <= 0.0:
+                return float(len(self._request_times))
+            return len(self._request_times) / span
+
+    def uptime_s(self) -> float:
+        return self._clock() - self._started
+
+    def snapshot(self) -> Dict[str, object]:
+        """A point-in-time view of everything, for ``service.stats()``."""
+        with self._lock:
+            counters = dict(self._counters)
+            stages = list(self._histograms.items())
+        return {
+            "uptime_s": self.uptime_s(),
+            "qps": self.qps(),
+            "counters": counters,
+            "latency": {stage: hist.summary() for stage, hist in stages},
+        }

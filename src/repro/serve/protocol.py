@@ -1,0 +1,196 @@
+"""Wire protocols for the serving CLI: a line protocol and a small HTTP API.
+
+Line protocol (stdin/stdout or any line transport), one request per line:
+
+    PING                                     -> PONG
+    TYPES                                    -> OK {"0": "bakery", ...}
+    QUERY <type> [K=<n>] [CANDIDATES=1,2,3] [EXCLUDE=4,5]
+                                             -> OK [{"region": .., "score": ..,
+                                                     "orders": ..}, ...]
+    STATS                                    -> OK {...service.stats()...}
+    RELOAD <snapshot.npz>                    -> OK {"snapshot_id": "..."}
+    QUIT                                     -> BYE (and the loop exits)
+
+``<type>`` is a type index or a type name.  Errors come back as one line:
+``ERR <message>``.  The HTTP API mirrors the same commands on
+``GET /recommend``, ``GET /types``, ``GET /stats`` and ``GET /healthz``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .service import RecommendationService
+
+
+def _format_results(service: RecommendationService, results) -> str:
+    return json.dumps(
+        [
+            {
+                "region": rec.region,
+                "store_type": rec.store_type,
+                "type_name": service.snapshot.type_names[rec.store_type],
+                "score": rec.score,
+                "orders": rec.predicted_orders,
+            }
+            for rec in results
+        ]
+    )
+
+
+def _parse_int_list(raw: str) -> List[int]:
+    try:
+        return [int(part) for part in raw.split(",") if part]
+    except ValueError:
+        raise ValueError(f"expected a comma-separated integer list, got {raw!r}")
+
+
+def _parse_type(service: RecommendationService, token: str):
+    """A store type given as an index or a name."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _run_query(
+    service: RecommendationService,
+    type_token: str,
+    k: Optional[int],
+    candidates: Optional[Sequence[int]],
+    exclude: Optional[Sequence[int]],
+) -> str:
+    results = service.query(
+        _parse_type(service, type_token),
+        candidate_regions=candidates,
+        k=k,
+        exclude_regions=exclude,
+    )
+    return _format_results(service, results)
+
+
+def handle_line(service: RecommendationService, line: str) -> Tuple[str, bool]:
+    """Execute one line-protocol command.
+
+    Returns ``(response, keep_going)``; ``keep_going`` is False after QUIT.
+    """
+    tokens = line.strip().split()
+    if not tokens:
+        return "ERR empty command", True
+    command = tokens[0].upper()
+    try:
+        if command == "PING":
+            return "PONG", True
+        if command in ("QUIT", "EXIT"):
+            return "BYE", False
+        if command == "TYPES":
+            names = service.snapshot.type_names
+            return "OK " + json.dumps({str(i): n for i, n in enumerate(names)}), True
+        if command == "STATS":
+            return "OK " + json.dumps(service.stats()), True
+        if command == "RELOAD":
+            if len(tokens) != 2:
+                return "ERR usage: RELOAD <snapshot.npz>", True
+            snapshot = service.reload(tokens[1])
+            return "OK " + json.dumps({"snapshot_id": snapshot.snapshot_id}), True
+        if command == "QUERY":
+            if len(tokens) < 2:
+                return "ERR usage: QUERY <type> [K=n] [CANDIDATES=..] [EXCLUDE=..]", True
+            k: Optional[int] = None
+            candidates: Optional[List[int]] = None
+            exclude: Optional[List[int]] = None
+            for token in tokens[2:]:
+                key, _, value = token.partition("=")
+                key = key.upper()
+                if key == "K":
+                    k = int(value)
+                elif key == "CANDIDATES":
+                    candidates = _parse_int_list(value)
+                elif key == "EXCLUDE":
+                    exclude = _parse_int_list(value)
+                else:
+                    return f"ERR unknown option {token!r}", True
+            return "OK " + _run_query(service, tokens[1], k, candidates, exclude), True
+        return f"ERR unknown command {command!r}", True
+    except (KeyError, ValueError, OSError) as exc:
+        return f"ERR {exc}", True
+
+
+def serve_lines(service: RecommendationService, in_stream, out_stream) -> None:
+    """Run the line protocol over a pair of text streams until EOF/QUIT."""
+    for line in in_stream:
+        response, keep_going = handle_line(service, line)
+        out_stream.write(response + "\n")
+        out_stream.flush()
+        if not keep_going:
+            break
+
+
+# ----------------------------------------------------------------------
+# HTTP
+# ----------------------------------------------------------------------
+def make_http_handler(service: RecommendationService):
+    """A BaseHTTPRequestHandler subclass bound to ``service``."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def _send(self, status: int, payload: str) -> None:
+            body = payload.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            parsed = urlparse(self.path)
+            params = parse_qs(parsed.query)
+            try:
+                if parsed.path == "/healthz":
+                    self._send(200, json.dumps({"status": "ok"}))
+                elif parsed.path == "/stats":
+                    self._send(200, json.dumps(service.stats()))
+                elif parsed.path == "/types":
+                    names = service.snapshot.type_names
+                    self._send(
+                        200, json.dumps({str(i): n for i, n in enumerate(names)})
+                    )
+                elif parsed.path == "/recommend":
+                    if "type" not in params:
+                        self._send(400, json.dumps({"error": "missing type"}))
+                        return
+                    k = int(params["k"][0]) if "k" in params else None
+                    candidates = (
+                        _parse_int_list(params["candidates"][0])
+                        if "candidates" in params
+                        else None
+                    )
+                    exclude = (
+                        _parse_int_list(params["exclude"][0])
+                        if "exclude" in params
+                        else None
+                    )
+                    self._send(
+                        200,
+                        _run_query(
+                            service, params["type"][0], k, candidates, exclude
+                        ),
+                    )
+                else:
+                    self._send(404, json.dumps({"error": "not found"}))
+            except (KeyError, ValueError) as exc:
+                self._send(400, json.dumps({"error": str(exc)}))
+
+        def log_message(self, *args) -> None:  # pragma: no cover - quiet
+            pass
+
+    return Handler
+
+
+def serve_http(
+    service: RecommendationService, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """Create (but don't start) an HTTP server for ``service``."""
+    return ThreadingHTTPServer((host, port), make_http_handler(service))

@@ -1,0 +1,259 @@
+"""The online recommendation service: cache + micro-batching + hot swap.
+
+``RecommendationService`` owns a :class:`~repro.serve.snapshot.ModelSnapshot`
+and answers top-k site queries:
+
+* scores come from an LRU+TTL :class:`~repro.serve.cache.ScoreCache` when a
+  (snapshot, type, candidate-set) combination repeats, otherwise from the
+  :class:`~repro.serve.batching.MicroBatcher`, which merges concurrent
+  callers into one vectorised scoring pass;
+* :meth:`reload` atomically swaps in a new snapshot -- queries already in
+  flight finish against whichever snapshot the scoring pass picked up, new
+  queries see the new one, and cache keys include the snapshot id so stale
+  scores can never be served;
+* :meth:`stats` exposes per-stage latency histograms, QPS and cache/batch
+  counters for operations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.ranking import Recommendation
+from .batching import MicroBatcher
+from .cache import ScoreCache, candidate_digest
+from .metrics import ServiceMetrics
+from .snapshot import ModelSnapshot, PathLike
+
+
+class RecommendationService:
+    """Serve top-k store-site recommendations from a frozen snapshot."""
+
+    def __init__(
+        self,
+        snapshot: ModelSnapshot,
+        *,
+        default_k: int = 3,
+        per_type_k: Optional[Dict[int, int]] = None,
+        max_batch_size: int = 32,
+        batch_window_ms: float = 2.0,
+        num_workers: int = 2,
+        cache_entries: int = 512,
+        cache_ttl_s: float = 300.0,
+        query_timeout_s: float = 30.0,
+    ) -> None:
+        if default_k < 1:
+            raise ValueError("default_k must be >= 1")
+        self._snapshot = snapshot
+        self.default_k = default_k
+        self.per_type_k = dict(per_type_k or {})
+        self.query_timeout_s = query_timeout_s
+        self._reload_lock = threading.Lock()
+        self.metrics = ServiceMetrics()
+        self.cache = ScoreCache(max_entries=cache_entries, ttl_s=cache_ttl_s)
+        self._batcher = MicroBatcher(
+            self._score_batch,
+            max_batch_size=max_batch_size,
+            batch_window_s=batch_window_ms / 1e3,
+            num_workers=num_workers,
+            metrics=self.metrics,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls, path: PathLike, dataset, split=None, **kwargs
+    ) -> "RecommendationService":
+        """Build a service straight from a ``save_model`` checkpoint."""
+        return cls(ModelSnapshot.from_checkpoint(path, dataset, split), **kwargs)
+
+    @classmethod
+    def from_snapshot_file(cls, path: PathLike, **kwargs) -> "RecommendationService":
+        """Build a service from a dataset-free ``ModelSnapshot.save`` file."""
+        return cls(ModelSnapshot.load(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> ModelSnapshot:
+        """The currently deployed snapshot."""
+        return self._snapshot
+
+    def _score_batch(self, pairs: np.ndarray) -> np.ndarray:
+        # One reference read: every pair in this batch scores against the
+        # same snapshot even if a reload lands mid-pass.
+        return self._snapshot.predict(pairs)
+
+    def _resolve_candidates(
+        self,
+        snapshot: ModelSnapshot,
+        candidate_regions: Optional[Sequence[int]],
+        exclude_regions: Optional[Sequence[int]],
+    ) -> np.ndarray:
+        if candidate_regions is None:
+            candidates = snapshot.candidate_regions()
+        else:
+            candidates = np.asarray(list(candidate_regions), dtype=np.int64)
+        if exclude_regions is not None:
+            dropped = set(int(r) for r in exclude_regions)
+            candidates = np.asarray(
+                [r for r in candidates if int(r) not in dropped], dtype=np.int64
+            )
+        if len(candidates) == 0:
+            raise ValueError("no candidate regions to rank")
+        return candidates
+
+    def scores(
+        self,
+        store_type: Union[str, int],
+        candidate_regions: Optional[Sequence[int]] = None,
+        *,
+        exclude_regions: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Raw score vector for one type over the candidate regions.
+
+        Cached on (snapshot id, type, candidate digest); misses go through
+        the micro-batcher.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        snapshot = self._snapshot
+        store_type_idx = snapshot.type_index(store_type)
+        candidates = self._resolve_candidates(
+            snapshot, candidate_regions, exclude_regions
+        )
+        key = (snapshot.snapshot_id, store_type_idx, candidate_digest(candidates))
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.increment("cache_hits")
+            return cached
+        self.metrics.increment("cache_misses")
+        pairs = np.stack(
+            [
+                candidates,
+                np.full(len(candidates), store_type_idx, dtype=np.int64),
+            ],
+            axis=1,
+        )
+        scores = self._batcher.score(pairs, timeout=self.query_timeout_s)
+        self.cache.put(key, scores)
+        return scores
+
+    def query(
+        self,
+        store_type: Union[str, int],
+        candidate_regions: Optional[Sequence[int]] = None,
+        k: Optional[int] = None,
+        *,
+        exclude_regions: Optional[Sequence[int]] = None,
+        min_score: Optional[float] = None,
+    ) -> List[Recommendation]:
+        """Top-k site recommendations for ``store_type``.
+
+        ``candidate_regions`` defaults to every servable region;
+        ``exclude_regions`` filters candidates (e.g. regions with an
+        existing franchise); ``k`` falls back to the per-type default and
+        then to ``default_k``; ``min_score`` drops candidates below a
+        score floor.
+        """
+        started = time.monotonic()
+        snapshot = self._snapshot
+        store_type_idx = snapshot.type_index(store_type)
+        if k is None:
+            k = self.per_type_k.get(store_type_idx, self.default_k)
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        candidates = self._resolve_candidates(
+            snapshot, candidate_regions, exclude_regions
+        )
+        scores = self.scores(store_type_idx, candidates)
+        order = np.argsort(-scores, kind="stable")
+        results: List[Recommendation] = []
+        for i in order:
+            score = float(scores[i])
+            if min_score is not None and score < min_score:
+                break  # scores are sorted descending
+            results.append(
+                Recommendation(
+                    region=int(candidates[i]),
+                    store_type=store_type_idx,
+                    predicted_orders=score * snapshot.target_scale,
+                    score=score,
+                )
+            )
+            if len(results) == k:
+                break
+        self.metrics.mark_request()
+        self.metrics.increment("queries")
+        self.metrics.observe("total", time.monotonic() - started)
+        return results
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def reload(
+        self, source: Union[ModelSnapshot, PathLike]
+    ) -> ModelSnapshot:
+        """Atomically deploy a new snapshot (instance or ``.npz`` file).
+
+        In-flight queries keep the snapshot their scoring pass captured;
+        the swap itself is a single reference assignment, so no query ever
+        observes a half-loaded model.  Returns the deployed snapshot.
+        """
+        if isinstance(source, ModelSnapshot):
+            snapshot = source
+        else:
+            snapshot = ModelSnapshot.load(source)
+        with self._reload_lock:
+            self._snapshot = snapshot
+            # Keys embed the snapshot id, so old entries could never hit;
+            # clearing just releases their memory promptly.
+            self.cache.clear()
+            self.metrics.increment("reloads")
+        return snapshot
+
+    def reload_checkpoint(
+        self, path: PathLike, dataset, split=None
+    ) -> ModelSnapshot:
+        """Hot-swap from a model checkpoint (needs the training dataset)."""
+        return self.reload(ModelSnapshot.from_checkpoint(path, dataset, split))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Point-in-time service health: latency, QPS, cache, snapshot."""
+        report = self.metrics.snapshot()
+        report["cache"] = self.cache.stats()
+        report["snapshot"] = {
+            "id": self._snapshot.snapshot_id,
+            "store_nodes": self._snapshot.num_store_nodes,
+            "types": self._snapshot.num_types,
+            "periods": self._snapshot.num_periods,
+            "embedding_dim": self._snapshot.embedding_dim,
+        }
+        report["batching"] = {
+            "max_batch_size": self._batcher.max_batch_size,
+            "batch_window_ms": self._batcher.batch_window_s * 1e3,
+        }
+        return report
+
+    def close(self) -> None:
+        """Drain and stop the worker threads."""
+        if not self._closed:
+            self._closed = True
+            self._batcher.close()
+
+    def __enter__(self) -> "RecommendationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -47,6 +47,39 @@ class TestSerialization:
         with pytest.raises(ValueError, match="not an O2-SiteRec checkpoint"):
             load_config(path)
 
+    def test_suffixless_path_roundtrip(
+        self, model, micro_dataset, micro_split, tmp_path
+    ):
+        # np.savez silently appends .npz; save/load must agree on the name.
+        save_model(model, tmp_path / "ckpt")
+        assert (tmp_path / "ckpt.npz").exists()
+        assert load_config(tmp_path / "ckpt") == model.config
+        restored = load_model(tmp_path / "ckpt", micro_dataset, micro_split)
+        pairs = micro_split.test_pairs[:5]
+        assert np.allclose(model.predict(pairs), restored.predict(pairs))
+
+    def test_rejects_wrong_format_version(
+        self, model, micro_dataset, micro_split, tmp_path
+    ):
+        from repro.core import serialize
+
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        with np.load(path, allow_pickle=False) as archive:
+            contents = {name: archive[name] for name in archive.files}
+        contents[serialize._VERSION_KEY] = np.array(99)
+        np.savez(path, **contents)
+        with pytest.raises(ValueError, match="checkpoint format 99"):
+            load_model(path, micro_dataset, micro_split)
+
+    def test_load_config_only_read(self, model, tmp_path):
+        # Reading the config must not require the dataset or the split.
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        config = load_config(path)
+        assert config.embedding_dim == 20
+        assert config.capacity_dim == 6
+
 
 class TestViz:
     @pytest.fixture()
