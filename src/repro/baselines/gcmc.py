@@ -71,10 +71,12 @@ class GCMC(SiteRecBaseline):
         pairs = np.asarray(pairs, dtype=np.int64)
         weights = np.asarray(targets, dtype=np.float64) + 0.05  # keep zeros alive
         regions, types = pairs[:, 0], pairs[:, 1]
-        deg_r = np.zeros(self.dataset.num_regions)
-        deg_t = np.zeros(self.dataset.num_types)
-        np.add.at(deg_r, regions, 1.0)
-        np.add.at(deg_t, types, 1.0)
+        deg_r = np.bincount(regions, minlength=self.dataset.num_regions).astype(
+            np.float64
+        )
+        deg_t = np.bincount(types, minlength=self.dataset.num_types).astype(
+            np.float64
+        )
         norm = 1.0 / np.sqrt(
             np.maximum(deg_r[regions], 1.0) * np.maximum(deg_t[types], 1.0)
         )

@@ -24,7 +24,7 @@ available for the verbatim form.  See DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +32,15 @@ from ..graphs.geographic import RegionGeographicalGraph
 from ..graphs.mobility import MobilitySubgraph
 from ..nn import Embedding, Linear, Module, Parameter, init
 from ..optim import l1_loss
-from ..tensor import Tensor, concat, gather_rows, segment_softmax, segment_sum
+from ..tensor import (
+    Tensor,
+    concat,
+    fast_kernels_enabled,
+    gather_rows,
+    get_plan,
+    segment_softmax,
+    segment_sum,
+)
 
 
 def geographic_weights(
@@ -56,6 +64,13 @@ def geographic_weights(
         raise ValueError(f"unknown geo_weight_mode {mode!r}")
     # Segment softmax per destination region (numpy: weights are constant).
     n = graph.num_regions
+    if fast_kernels_enabled():
+        plan = get_plan(graph.dst, n)
+        sorted_logits = plan.sort(logits)
+        seg_max = plan.max_sorted(sorted_logits)
+        exp = np.exp(sorted_logits - plan.spread_runs(seg_max))
+        seg_sum = plan.sum_sorted(exp)
+        return plan.unsort(exp / plan.spread_runs(seg_sum))
     seg_max = np.full(n, -np.inf)
     np.maximum.at(seg_max, graph.dst, logits)
     exp = np.exp(logits - seg_max[graph.dst])
@@ -99,8 +114,13 @@ class CourierCapacityModel(Module):
         )
 
     # ------------------------------------------------------------------
-    def region_embeddings(self, mobility: MobilitySubgraph) -> Tensor:
-        """Final region embeddings ``b`` for one period (Eqs. 3-5)."""
+    def base_embeddings(self) -> Tuple[Tensor, Tensor]:
+        """Period-invariant part of Eqs. 3-5: ``(b0, b_geo)``.
+
+        The geographical graph does not change with the period, so one
+        capacity pass over all periods only needs this computed once (the
+        per-period mobility aggregation consumes it).
+        """
         b0 = self.region_embedding()  # (N, d1)
 
         # Geographic semantic aggregation with residuals (Eq. 3).
@@ -110,6 +130,19 @@ class CourierCapacityModel(Module):
                 messages = gather_rows(b_geo, self.geo_graph.src) * self._geo_weights
                 agg = segment_sum(messages, self.geo_graph.dst, self.num_regions)
                 b_geo = agg.relu() + b_geo
+        return b0, b_geo
+
+    def region_embeddings(
+        self,
+        mobility: MobilitySubgraph,
+        base: Optional[Tuple[Tensor, Tensor]] = None,
+    ) -> Tensor:
+        """Final region embeddings ``b`` for one period (Eqs. 3-5).
+
+        ``base`` lets callers that iterate over periods share one
+        :meth:`base_embeddings` evaluation across all of them.
+        """
+        b0, b_geo = base if base is not None else self.base_embeddings()
 
         # Mobility semantic aggregation (Eq. 4), undirected neighbourhood.
         src, dst = mobility.undirected_neighbors()

@@ -21,6 +21,7 @@ w/o SA                     ``time_attention=False``
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
@@ -36,9 +37,10 @@ from ..graphs import (
 )
 from ..nn import Module
 from ..optim import mse_loss
-from ..tensor import Tensor
+from ..parallel import parallel_map
+from ..tensor import Tensor, fast_kernels_enabled
 from .capacity import CourierCapacityModel
-from .recommender import HeteroRecommender
+from .recommender import CapacityEdgeFactors, HeteroRecommender
 
 
 @dataclass(frozen=True)
@@ -148,16 +150,53 @@ class O2SiteRec(Module):
         self._store_index = {
             int(r): i for i, r in enumerate(self.hetero_graph.store_regions)
         }
+        # Vectorised region -> store-node lookup table (-1 = not a store).
+        store_regions = self.hetero_graph.store_regions
+        lut_size = int(store_regions.max()) + 1 if len(store_regions) else 1
+        self._store_lut = np.full(lut_size, -1, dtype=np.int64)
+        self._store_lut[store_regions] = np.arange(len(store_regions))
+        # Stable per-period S-U endpoint columns: slicing su_region_pairs on
+        # every pass would allocate fresh arrays and defeat the identity-keyed
+        # segment-plan cache behind gather_rows' backward.
+        self._su_endpoints = {
+            period: (
+                np.ascontiguousarray(sub.su_region_pairs[:, 0]),
+                np.ascontiguousarray(sub.su_region_pairs[:, 1]),
+            )
+            for period, sub in self.hetero_graph.subgraphs.items()
+        }
+        # (region, type) pair arrays -> (store-node, type) arrays, cached by
+        # input-array identity (full-batch training reuses the same pairs).
+        self._pair_cache: "OrderedDict[int, tuple]" = OrderedDict()
 
     # ------------------------------------------------------------------
     def _pair_indices(self, pairs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Map (region, type) pairs to (store-node index, type) arrays."""
+        key = id(pairs)
+        entry = self._pair_cache.get(key)
+        if entry is not None and entry[0] is pairs:
+            self._pair_cache.move_to_end(key)
+            return entry[1], entry[2]
+        pairs_in = pairs
         pairs = np.asarray(pairs, dtype=np.int64)
-        try:
-            s_idx = np.array([self._store_index[int(r)] for r in pairs[:, 0]])
-        except KeyError as exc:
-            raise KeyError(f"region {exc} is not a store region") from None
-        return s_idx, pairs[:, 1]
+        regions = pairs[:, 0]
+        if regions.size:
+            bad = (regions < 0) | (regions >= len(self._store_lut))
+            if not bad.any():
+                s_idx = self._store_lut[regions]
+                bad = s_idx < 0
+            if bad.any():
+                raise KeyError(
+                    f"region {int(regions[np.flatnonzero(bad)[0]])} is not a "
+                    f"store region"
+                )
+        else:
+            s_idx = np.zeros(0, dtype=np.int64)
+        types = np.ascontiguousarray(pairs[:, 1])
+        self._pair_cache[key] = (pairs_in, s_idx, types)
+        while len(self._pair_cache) > 8:
+            self._pair_cache.popitem(last=False)
+        return s_idx, types
 
     def _capacity_pass(
         self,
@@ -169,21 +208,43 @@ class O2SiteRec(Module):
         """
         if self.capacity_model is None:
             return None, Tensor(0.0)
-        capacity_su: Dict[TimePeriod, Tensor] = {}
-        o1_total = None
-        for period in TimePeriod:
+
+        # The geographic aggregation is period-invariant: on the fast path it
+        # is evaluated once here and shared by all periods (the reference
+        # path recomputes it per period, as the pre-optimisation code did).
+        fast = fast_kernels_enabled()
+        base = self.capacity_model.base_embeddings() if fast else None
+
+        def run(period: TimePeriod):
+            """One period's capacity embeddings + O1 term (RNG-free)."""
             mobility = self.mobility_graph.subgraph(period)
-            b = self.capacity_model.region_embeddings(mobility)
-            subgraph = self.hetero_graph.subgraph(period)
-            capacity_su[period] = self.capacity_model.edge_embeddings(
-                b, subgraph.su_region_pairs[:, 0], subgraph.su_region_pairs[:, 1]
-            )
+            b = self.capacity_model.region_embeddings(mobility, base=base)
+            src_regions, dst_regions = self._su_endpoints[period]
+            if fast:
+                # Hand the region table to the recommender ungathered; the
+                # aggregator projects it at table size (see
+                # CapacityEdgeFactors / FactoredEdgeAttr).
+                su = CapacityEdgeFactors(b, dst_regions, src_regions)
+            else:
+                su = self.capacity_model.edge_embeddings(b, src_regions, dst_regions)
+            diff = None
             if mobility.num_edges:
                 edge_emb = self.capacity_model.edge_embeddings(
                     b, mobility.src, mobility.dst
                 )
                 predicted = self.capacity_model.predict_delivery_time(edge_emb)
                 diff = (predicted - Tensor(mobility.delivery_time)).abs().mean()
+            return su, diff
+
+        # The per-period passes share parameters but build independent
+        # autograd subgraphs, so they fan out on the thread pool; O1 terms
+        # are summed in period order afterwards, keeping the reduction
+        # deterministic regardless of scheduling.
+        results = parallel_map(run, list(TimePeriod))
+        capacity_su = {p: su for p, (su, _) in zip(TimePeriod, results)}
+        o1_total = None
+        for _, diff in results:
+            if diff is not None:
                 o1_total = diff if o1_total is None else o1_total + diff
         o1 = o1_total if o1_total is not None else Tensor(0.0)
         return capacity_su, o1 * (1.0 / len(TimePeriod))

@@ -21,23 +21,63 @@ Ablations: ``node_attention=False`` swaps ``Aggre`` for mean aggregation
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..data.periods import TimePeriod
-from ..graphs.hetero import HeteroSubgraph, RegionTypeHeteroMultiGraph
+from ..graphs.hetero import RegionTypeHeteroMultiGraph
 from ..nn import (
     MLP,
     Dropout,
     Embedding,
+    FactoredEdgeAttr,
     Linear,
     MeanSegmentAggregation,
     Module,
     ModuleList,
     MultiHeadSegmentAttention,
 )
-from ..tensor import Tensor, concat, gather_rows, softmax, stack
+from ..parallel import num_threads, parallel_map
+from ..tensor import (
+    Tensor,
+    concat,
+    fast_kernels_enabled,
+    gather_rows,
+    period_attention,
+    softmax,
+    stack,
+)
+
+
+import os as _os
+
+_batch_periods = _os.environ.get("O2_BATCH_PERIODS", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+
+def batch_periods_enabled() -> bool:
+    """Whether the serial fast path stacks all periods into one graph."""
+    return _batch_periods
+
+
+def set_batch_periods(enabled: bool) -> bool:
+    """Toggle batched-period propagation; returns the previous setting.
+
+    The batched pass computes the same propagation with period-stacked
+    arrays; predictions match the per-period path to ~1e-15 and gradients
+    to ~1e-16 (summation order inside the taller matmuls differs).  Turning
+    it off forces the per-period path even with one worker thread -- the
+    serial reference for the bit-for-bit threaded-equivalence guarantee.
+    """
+    global _batch_periods
+    previous = _batch_periods
+    _batch_periods = bool(enabled)
+    return previous
 
 
 def _make_aggregator(
@@ -57,6 +97,95 @@ def _make_aggregator(
             head_dim=head_dim,
         )
     return MeanSegmentAggregation(source_dim, num_heads * head_dim)
+
+
+class CapacityEdgeFactors:
+    """Per-period capacity edge embeddings in factored form.
+
+    The capacity model's S-U edge embedding is
+    ``concat([b[dst_regions], b[src_regions]])`` for the period's region
+    embedding table ``b`` (``num_regions`` rows).  The fast path hands the
+    table and the endpoint index arrays to the aggregator ungathered (as a
+    :class:`repro.nn.FactoredEdgeAttr`), so the fusion layer projects ``b``
+    at table size instead of running an E-row matmul over gathered copies.
+    """
+
+    __slots__ = ("values", "dst_regions", "src_regions")
+
+    def __init__(
+        self, values: Tensor, dst_regions: np.ndarray, src_regions: np.ndarray
+    ) -> None:
+        self.values = values
+        self.dst_regions = dst_regions
+        self.src_regions = src_regions
+
+    def dense(self) -> Tensor:
+        """The equivalent gathered ``(E, 2 * d1)`` edge-embedding tensor."""
+        return concat(
+            [
+                gather_rows(self.values, self.dst_regions),
+                gather_rows(self.values, self.src_regions),
+            ],
+            axis=1,
+        )
+
+
+class _EdgeSet:
+    """Edge endpoint arrays + attribute tensors for one propagation pass.
+
+    A pass may cover a single period (reference / threaded per-period paths)
+    or all periods stacked into one block-diagonal graph with node indices
+    offset per period (the batched fast path) -- the node-level layer is
+    agnostic to which.
+    """
+
+    __slots__ = (
+        "sa_src_s",
+        "sa_dst_a",
+        "sa_attr",
+        "su_src_u",
+        "su_dst_s",
+        "su_attr",
+        "ua_src_a",
+        "ua_dst_u",
+        "ua_attr",
+    )
+
+    def __init__(
+        self,
+        sa_src_s: np.ndarray,
+        sa_dst_a: np.ndarray,
+        sa_attr: Tensor,
+        su_src_u: np.ndarray,
+        su_dst_s: np.ndarray,
+        su_attr: Optional[Tensor],
+        ua_src_a: np.ndarray,
+        ua_dst_u: np.ndarray,
+        ua_attr: Optional[Tensor],
+    ) -> None:
+        self.sa_src_s = sa_src_s
+        self.sa_dst_a = sa_dst_a
+        self.sa_attr = sa_attr
+        self.su_src_u = su_src_u
+        self.su_dst_s = su_dst_s
+        self.su_attr = su_attr
+        self.ua_src_a = ua_src_a
+        self.ua_dst_u = ua_dst_u
+        self.ua_attr = ua_attr
+
+    def with_su_attr(self, su_attr: Tensor) -> "_EdgeSet":
+        """A copy of this edge set with a different S-U attribute tensor."""
+        return _EdgeSet(
+            self.sa_src_s,
+            self.sa_dst_a,
+            self.sa_attr,
+            self.su_src_u,
+            self.su_dst_s,
+            su_attr,
+            self.ua_src_a,
+            self.ua_dst_u,
+            self.ua_attr,
+        )
 
 
 class _NodeLevelLayer(Module):
@@ -90,31 +219,26 @@ class _NodeLevelLayer(Module):
         h: Tensor,
         z: Tensor,
         q: Tensor,
-        graph: RegionTypeHeteroMultiGraph,
-        subgraph: HeteroSubgraph,
-        su_attr: Optional[Tensor],
+        edges: _EdgeSet,
         use_preferences: bool,
     ):
-        sa_attr = Tensor(graph.sa_attr)
         # Store-region update (Eq. 7): customers in scope + incident types.
-        agg_s = self.sa_to_s(h, q, graph.sa_dst_a, graph.sa_src_s, sa_attr)
+        agg_s = self.sa_to_s(h, q, edges.sa_dst_a, edges.sa_src_s, edges.sa_attr)
         if use_preferences:
             agg_s = agg_s + self.su(
-                h, z, subgraph.su_src_u, subgraph.su_dst_s, su_attr
+                h, z, edges.su_src_u, edges.su_dst_s, edges.su_attr
             )
         h_new = self.w_s(agg_s + h).relu()
 
         # Customer-region update (Eq. 8): preferred types.
         if use_preferences:
-            agg_u = self.ua(
-                z, q, subgraph.ua_src_a, subgraph.ua_dst_u, Tensor(subgraph.ua_attr)
-            )
+            agg_u = self.ua(z, q, edges.ua_src_a, edges.ua_dst_u, edges.ua_attr)
             z_new = self.w_u(agg_u + z).relu()
         else:
             z_new = self.w_u(z).relu()
 
         # Store-type update (Eq. 9): interacting store-regions.
-        agg_a = self.sa_to_a(q, h, graph.sa_src_s, graph.sa_dst_a, sa_attr)
+        agg_a = self.sa_to_a(q, h, edges.sa_src_s, edges.sa_dst_a, edges.sa_attr)
         q_new = self.w_a(agg_a + q).relu()
         return h_new, z_new, q_new
 
@@ -143,15 +267,39 @@ class _TimeSemanticsAttention(Module):
         """``stacked`` has shape (P, K, dim); returns (K, dim)."""
         periods, k, dim = stacked.shape
         flat = stacked.reshape(periods * k, dim)
+        if fast_kernels_enabled():
+            return self.attend_flat(flat, periods)
         keys = self.key_proj(flat).reshape(periods, k, self.num_heads, self.head_dim)
         queries = self.query_proj(flat).reshape(
             periods, k, self.num_heads, self.head_dim
         )
         scores = (keys * queries).sum(axis=3) * self.scale  # (P, K, H)
         weights = softmax(scores, axis=0)
-        self.last_weights = weights.data.copy()
+        if not self.training:
+            # The interpretability signal is only consumed by offline
+            # analyses (period_attention); copying the (P, K, H) weights on
+            # every training forward is pure allocation churn.
+            self.last_weights = weights.data.copy()
         mixed = (keys * weights.expand_dims(3)).sum(axis=0)  # (K, H, hd)
         return mixed.reshape(k, dim).relu()
+
+    def attend_flat(self, flat: Tensor, periods: int) -> Tensor:
+        """Fused attention over a period-major ``(P*K, dim)`` tensor.
+
+        One autograd node (see :func:`repro.tensor.period_attention`); the
+        batched forward calls this directly to skip the stack/reshape.
+        """
+        out, weights = period_attention(
+            flat,
+            self.key_proj.weight,
+            self.query_proj.weight,
+            periods,
+            self.num_heads,
+            self.scale,
+        )
+        if not self.training:
+            self.last_weights = weights
+        return out
 
 
 class HeteroRecommender(Module):
@@ -213,10 +361,38 @@ class HeteroRecommender(Module):
 
         self._store_features = Tensor(graph.store_features)
         self._customer_features = Tensor(graph.customer_features)
+        # Hoisted per-forward constants: edge attribute matrices never
+        # change after graph construction, so wrap them once instead of
+        # re-allocating a Tensor per layer per period per step.
+        self._sa_attr = Tensor(graph.sa_attr)
+        self._su_attr = {
+            period: Tensor(graph.subgraph(period).su_attr) for period in TimePeriod
+        }
+        self._ua_attr = {
+            period: Tensor(graph.subgraph(period).ua_attr) for period in TimePeriod
+        }
+        # Dense commercial rows gathered per (pairs) identity -- full-batch
+        # training reuses the same pair arrays every epoch.
+        self._commercial_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # All periods stacked into one block-diagonal graph (built lazily):
+        # node index of store s in period p is ``s + p * num_store_nodes``,
+        # and likewise for customer and type nodes.
+        self._batched_edges: Optional[_EdgeSet] = None
+        # Period-offset region index arrays for factored capacity attributes
+        # on the batched path (row of region r in period p is ``r + p * R``).
+        self._batched_cap_idx: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # Period-offset pair index arrays for the batched forward, cached by
+        # pair-array identity like the commercial rows.
+        self._offset_idx_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
 
     # ------------------------------------------------------------------
-    def _fused_nodes(self):
-        """Step 1: node attribute fusion."""
+    def _fuse_base(self):
+        """Step 1 (pre-dropout): node attribute fusion.
+
+        Deterministic in the parameters, hence identical for every period
+        -- the fast path computes it once per forward and only the dropout
+        masks differ per period.
+        """
         h0 = self.fuse_store(
             concat([self.store_embedding(), self._store_features], axis=1)
         ).relu()
@@ -224,23 +400,135 @@ class HeteroRecommender(Module):
             concat([self.customer_embedding(), self._customer_features], axis=1)
         ).relu()
         q0 = self.type_embedding()
+        return h0, z0, q0
+
+    def _fused_nodes(self):
+        """Step 1: node attribute fusion (with dropout)."""
+        h0, z0, q0 = self._fuse_base()
         return self.dropout(h0), self.dropout(z0), q0
 
-    def _propagate(
-        self, period: TimePeriod, capacity_su: Optional[Tensor]
-    ):
-        """Steps 2-3 for one period: edge fusion + node-level aggregation."""
+    def _period_edges(self, period: TimePeriod, capacity_su: Optional[Tensor]):
+        """One period's edge set (step 2: S-U attrs fused with capacity)."""
         subgraph = self.graph.subgraph(period)
-        h, z, q = self._fused_nodes()
-        # Step 2: fuse the hand-crafted S-U edge attributes with the courier
-        # capacity edge embedding (phi' = [phi, em^c]).
-        su_attr = Tensor(subgraph.su_attr)
-        if capacity_su is not None:
-            su_attr = concat([su_attr, capacity_su], axis=1)
-        for layer in self.layers:
-            h, z, q = layer(
-                h, z, q, self.graph, subgraph, su_attr, self.use_preferences
+        fast = fast_kernels_enabled()
+        su_attr = self._su_attr[period] if fast else Tensor(subgraph.su_attr)
+        if isinstance(capacity_su, CapacityEdgeFactors):
+            su_attr = FactoredEdgeAttr(
+                su_attr,
+                [
+                    (capacity_su.values, capacity_su.dst_regions),
+                    (capacity_su.values, capacity_su.src_regions),
+                ],
             )
+        elif capacity_su is not None:
+            su_attr = concat([su_attr, capacity_su], axis=1)
+        return _EdgeSet(
+            sa_src_s=self.graph.sa_src_s,
+            sa_dst_a=self.graph.sa_dst_a,
+            sa_attr=self._sa_attr if fast else Tensor(self.graph.sa_attr),
+            su_src_u=subgraph.su_src_u,
+            su_dst_s=subgraph.su_dst_s,
+            su_attr=su_attr,
+            ua_src_a=subgraph.ua_src_a,
+            ua_dst_u=subgraph.ua_dst_u,
+            ua_attr=self._ua_attr[period] if fast else Tensor(subgraph.ua_attr),
+        )
+
+    def _propagate(
+        self,
+        period: TimePeriod,
+        capacity_su: Optional[Tensor],
+        fused=None,
+    ):
+        """Steps 2-3 for one period: edge fusion + node-level aggregation.
+
+        ``fused`` lets :meth:`propagate_periods` pass in the per-period
+        dropout-applied node embeddings (drawn serially so the RNG stream is
+        identical regardless of how periods are scheduled); without it the
+        nodes are fused here, as in the reference path.
+        """
+        h, z, q = self._fused_nodes() if fused is None else fused
+        edges = self._period_edges(period, capacity_su)
+        for layer in self.layers:
+            h, z, q = layer(h, z, q, edges, self.use_preferences)
+        return h, q
+
+    # -- batched all-periods propagation --------------------------------
+    def _build_batched(self) -> _EdgeSet:
+        """Stack all periods into one block-diagonal edge set.
+
+        Node indices are offset by ``period * num_nodes`` per node family,
+        so a single layer pass over the stacked arrays computes exactly the
+        same messages as one pass per period -- with 1/P the Python and
+        kernel-dispatch overhead and P-fold taller matmuls.
+        """
+        g = self.graph
+        periods = list(TimePeriod)
+        n_s, n_u, n_t = g.num_store_nodes, g.num_customer_nodes, g.num_types
+        subs = [g.subgraph(p) for p in periods]
+        rng = range(len(periods))
+        return _EdgeSet(
+            sa_src_s=np.concatenate([g.sa_src_s + p * n_s for p in rng]),
+            sa_dst_a=np.concatenate([g.sa_dst_a + p * n_t for p in rng]),
+            sa_attr=Tensor(np.tile(g.sa_attr, (len(periods), 1))),
+            su_src_u=np.concatenate([s.su_src_u + p * n_u for p, s in zip(rng, subs)]),
+            su_dst_s=np.concatenate([s.su_dst_s + p * n_s for p, s in zip(rng, subs)]),
+            su_attr=Tensor(np.concatenate([s.su_attr for s in subs], axis=0)),
+            ua_src_a=np.concatenate([s.ua_src_a + p * n_t for p, s in zip(rng, subs)]),
+            ua_dst_u=np.concatenate([s.ua_dst_u + p * n_u for p, s in zip(rng, subs)]),
+            ua_attr=Tensor(np.concatenate([s.ua_attr for s in subs], axis=0)),
+        )
+
+    def _propagate_batched(
+        self, capacity_su: Optional[Dict[TimePeriod, Tensor]] = None
+    ) -> Tuple[Tensor, Tensor]:
+        """Steps 2-3 for all periods at once; returns stacked ``(h, q)``.
+
+        Row block ``p`` of the outputs is period ``p``'s embedding matrix.
+        Dropout masks are drawn in the same order as the per-period paths,
+        so all fast paths consume an identical RNG stream.
+        """
+        periods = list(TimePeriod)
+        if self._batched_edges is None:
+            self._batched_edges = self._build_batched()
+        edges = self._batched_edges
+        if capacity_su is not None and isinstance(
+            capacity_su[periods[0]], CapacityEdgeFactors
+        ):
+            b_all = concat([capacity_su[p].values for p in periods], axis=0)
+            if self._batched_cap_idx is None:
+                num_regions = capacity_su[periods[0]].values.shape[0]
+                self._batched_cap_idx = (
+                    np.concatenate(
+                        [
+                            capacity_su[p].dst_regions + i * num_regions
+                            for i, p in enumerate(periods)
+                        ]
+                    ),
+                    np.concatenate(
+                        [
+                            capacity_su[p].src_regions + i * num_regions
+                            for i, p in enumerate(periods)
+                        ]
+                    ),
+                )
+            dst_all, src_all = self._batched_cap_idx
+            edges = edges.with_su_attr(
+                FactoredEdgeAttr(
+                    edges.su_attr, [(b_all, dst_all), (b_all, src_all)]
+                )
+            )
+        elif capacity_su is not None:
+            cap = concat([capacity_su[p] for p in periods], axis=0)
+            edges = edges.with_su_attr(concat([edges.su_attr, cap], axis=1))
+
+        h0, z0, q0 = self._fuse_base()
+        dropped = [(self.dropout(h0), self.dropout(z0)) for _ in periods]
+        h = concat([d[0] for d in dropped], axis=0)
+        z = concat([d[1] for d in dropped], axis=0)
+        q = concat([q0] * len(periods), axis=0)
+        for layer in self.layers:
+            h, z, q = layer(h, z, q, edges, self.use_preferences)
         return h, q
 
     def propagate_periods(
@@ -252,12 +540,41 @@ class HeteroRecommender(Module):
         gather + time attention + predictor depend on the requested pairs --
         so these outputs can be frozen once per trained model and reused for
         every online query (see :mod:`repro.serve`).
+
+        Fast-path execution: with more than one worker thread available
+        (``O2_NUM_THREADS``), the P periods build their disjoint autograd
+        subgraphs concurrently on the shared thread pool; the serial
+        fallback runs one batched pass over the period-stacked graph.  All
+        dropout masks are drawn serially in period order in either case, so
+        threaded and serial runs are bit-for-bit identical.
         """
-        out: Dict[TimePeriod, Tuple[Tensor, Tensor]] = {}
-        for period in TimePeriod:
-            cap = capacity_su.get(period) if capacity_su else None
-            out[period] = self._propagate(period, cap)
-        return out
+        periods = list(TimePeriod)
+        if not fast_kernels_enabled():
+            out: Dict[TimePeriod, Tuple[Tensor, Tensor]] = {}
+            for period in periods:
+                cap = capacity_su.get(period) if capacity_su else None
+                out[period] = self._propagate(period, cap)
+            return out
+
+        if num_threads(len(periods)) > 1 or not batch_periods_enabled():
+            h0, z0, q0 = self._fuse_base()  # shared across periods
+            fused = {p: (self.dropout(h0), self.dropout(z0), q0) for p in periods}
+
+            def run(period: TimePeriod) -> Tuple[Tensor, Tensor]:
+                cap = capacity_su.get(period) if capacity_su else None
+                return self._propagate(period, cap, fused=fused[period])
+
+            return dict(zip(periods, parallel_map(run, periods)))
+
+        h_b, q_b = self._propagate_batched(capacity_su)
+        n_s, n_t = self.graph.num_store_nodes, self.graph.num_types
+        return {
+            period: (
+                h_b[p * n_s : (p + 1) * n_s],
+                q_b[p * n_t : (p + 1) * n_t],
+            )
+            for p, period in enumerate(periods)
+        }
 
     def forward(
         self,
@@ -266,28 +583,99 @@ class HeteroRecommender(Module):
         capacity_su: Optional[Dict[TimePeriod, Tensor]] = None,
     ) -> Tensor:
         """Predict normalised order counts for (store-node, type) pairs."""
-        per_period: List[Tensor] = []
-        per_period_hq = self.propagate_periods(capacity_su)
-        for period in TimePeriod:
-            h_t, q_t = per_period_hq[period]
-            h_pairs = gather_rows(h_t, pairs_store_idx)
-            q_pairs = gather_rows(q_t, pairs_type)
+        periods = list(TimePeriod)
+        if (
+            fast_kernels_enabled()
+            and batch_periods_enabled()
+            and num_threads(len(periods)) <= 1
+        ):
+            # Batched path: gather all periods' pair rows straight from the
+            # stacked embeddings with period-offset indices -- one gather
+            # per node family instead of one per family per period.
+            h_b, q_b = self._propagate_batched(capacity_su)
+            idx_s, idx_a = self._offset_pair_indices(pairs_store_idx, pairs_type)
+            k = len(pairs_store_idx)
+            h_pairs = gather_rows(h_b, idx_s)
+            q_pairs = gather_rows(q_b, idx_a)
             blocks = [h_pairs, q_pairs]
             if self.product_channel:
                 blocks.append(h_pairs * q_pairs)
-            per_period.append(concat(blocks, axis=1))
-
-        stacked = stack(per_period, axis=0)  # (P, K, pair_dim)
-        if self.time_attention_enabled:
-            fused = self.time_attention(stacked)
+            flat = concat(blocks, axis=1)  # (P*K, pair_dim), period-major
+            if self.time_attention_enabled:
+                # Row p*K + j of ``flat`` equals row j of period p's pair
+                # embedding bit-for-bit, so the fused attention node sees
+                # the very same operands as the per-period path's
+                # stack+reshape -- the predictions stay bitwise identical.
+                fused = self.time_attention.attend_flat(flat, len(periods))
+            else:
+                pair_dim = (3 if self.product_channel else 2) * self._d2
+                stacked = flat.reshape(len(periods), k, pair_dim)
+                fused = stacked.mean(axis=0)  # w/o SA ablation
         else:
-            fused = stacked.mean(axis=0)  # w/o SA ablation
+            per_period: List[Tensor] = []
+            per_period_hq = self.propagate_periods(capacity_su)
+            for period in periods:
+                h_t, q_t = per_period_hq[period]
+                h_pairs = gather_rows(h_t, pairs_store_idx)
+                q_pairs = gather_rows(q_t, pairs_type)
+                blocks = [h_pairs, q_pairs]
+                if self.product_channel:
+                    blocks.append(h_pairs * q_pairs)
+                per_period.append(concat(blocks, axis=1))
+            stacked = stack(per_period, axis=0)  # (P, K, pair_dim)
+            if self.time_attention_enabled:
+                fused = self.time_attention(stacked)
+            else:
+                fused = stacked.mean(axis=0)  # w/o SA ablation
         if self.commercial_in_predictor:
-            commercial = Tensor(
-                self._pair_commercial[pairs_store_idx, pairs_type]
+            fused = concat(
+                [fused, self._commercial_rows(pairs_store_idx, pairs_type)], axis=1
             )
-            fused = concat([fused, commercial], axis=1)
         return self.predictor(fused).squeeze(1)
+
+    def _offset_pair_indices(
+        self, pairs_store_idx: np.ndarray, pairs_type: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Period-offset (P*K,) index arrays into the stacked embeddings.
+
+        Cached by pair-array identity so full-batch training reuses the
+        arrays (and the segment plans built on them) every epoch.
+        """
+        key = (id(pairs_store_idx), id(pairs_type))
+        entry = self._offset_idx_cache.get(key)
+        if entry is not None and entry[0] is pairs_store_idx and entry[1] is pairs_type:
+            self._offset_idx_cache.move_to_end(key)
+            return entry[2], entry[3]
+        num_periods = len(TimePeriod)
+        offs = np.arange(num_periods, dtype=np.int64)[:, None]
+        s = np.asarray(pairs_store_idx, dtype=np.int64)[None, :]
+        a = np.asarray(pairs_type, dtype=np.int64)[None, :]
+        idx_s = (s + offs * self.graph.num_store_nodes).reshape(-1)
+        idx_a = (a + offs * self.graph.num_types).reshape(-1)
+        self._offset_idx_cache[key] = (pairs_store_idx, pairs_type, idx_s, idx_a)
+        while len(self._offset_idx_cache) > 8:
+            self._offset_idx_cache.popitem(last=False)
+        return idx_s, idx_a
+
+    def _commercial_rows(
+        self, pairs_store_idx: np.ndarray, pairs_type: np.ndarray
+    ) -> Tensor:
+        """Dense commercial attributes for the requested pairs.
+
+        The gather is a constant for a fixed pair of index arrays, so it is
+        cached by array identity -- full-batch training and repeated
+        evaluation hit the cache every epoch.
+        """
+        key = (id(pairs_store_idx), id(pairs_type))
+        entry = self._commercial_cache.get(key)
+        if entry is not None and entry[0] is pairs_store_idx and entry[1] is pairs_type:
+            self._commercial_cache.move_to_end(key)
+            return entry[2]
+        value = Tensor(self._pair_commercial[pairs_store_idx, pairs_type])
+        self._commercial_cache[key] = (pairs_store_idx, pairs_type, value)
+        while len(self._commercial_cache) > 8:
+            self._commercial_cache.popitem(last=False)
+        return value
 
     @staticmethod
     def _dense_commercial(graph: RegionTypeHeteroMultiGraph) -> np.ndarray:

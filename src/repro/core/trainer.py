@@ -15,6 +15,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..optim import Adam, CosineLR, StepLR, clip_grad_norm
+from ..runtime import tune_allocator
 from .model import O2SiteRec
 
 
@@ -85,6 +86,10 @@ class Trainer:
 
     def fit(self, pairs: np.ndarray, targets: np.ndarray) -> TrainResult:
         """Train on (region, type) pairs with normalised count targets."""
+        # Training churns through large short-lived arrays; keep them in the
+        # malloc arena instead of handing pages back to the kernel per op
+        # (no-op off glibc or with O2_MALLOC_TUNE=0; see repro.runtime).
+        tune_allocator()
         cfg = self.config
         pairs = np.asarray(pairs, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.float64)
@@ -150,20 +155,24 @@ class Trainer:
     ) -> float:
         cfg = self.config
         if cfg.batch_size is None or cfg.batch_size >= len(pairs):
-            batches = [np.arange(len(pairs))]
+            # Full batch: pass the arrays through untouched so identity-keyed
+            # caches (pair indices, commercial gathers, segment plans built
+            # on the pair arrays) hit on every epoch.
+            batch_data = [(pairs, targets)]
         else:
             order = rng.permutation(len(pairs))
             batches = np.array_split(order, int(np.ceil(len(pairs) / cfg.batch_size)))
+            batch_data = [(pairs[b], targets[b]) for b in batches]
 
         total, count = 0.0, 0
-        for batch in batches:
+        for batch_pairs, batch_targets in batch_data:
             self.optimizer.zero_grad()
-            loss, _, _ = self.model.loss(pairs[batch], targets[batch])
+            loss, _, _ = self.model.loss(batch_pairs, batch_targets)
             loss.backward()
             clip_grad_norm(self.model.parameters(), cfg.grad_clip)
             self.optimizer.step()
-            total += float(loss.data) * len(batch)
-            count += len(batch)
+            total += float(loss.data) * len(batch_pairs)
+            count += len(batch_pairs)
         return total / max(count, 1)
 
     def _evaluate(self, pairs: np.ndarray, targets: np.ndarray) -> float:

@@ -39,11 +39,18 @@ class MobilitySubgraph:
 
         Courier capacity correlates regions symmetrically ("regions with
         mobility relations have some correlation"), so the mobility semantic
-        aggregation treats edges as undirected.
+        aggregation treats edges as undirected.  The concatenated arrays are
+        cached so repeated passes reuse the same objects (segment plans are
+        keyed by array identity).
         """
-        src = np.concatenate([self.src, self.dst])
-        dst = np.concatenate([self.dst, self.src])
-        return src, dst
+        cached = self.__dict__.get("_undirected")
+        if cached is None:
+            src = np.concatenate([self.src, self.dst])
+            dst = np.concatenate([self.dst, self.src])
+            cached = (src, dst)
+            # The dataclass is frozen; stash the cache without __setattr__.
+            object.__setattr__(self, "_undirected", cached)
+        return cached
 
 
 @dataclass(frozen=True)

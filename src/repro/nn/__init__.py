@@ -2,7 +2,7 @@
 
 from . import init
 from .activations import Identity, LeakyReLU, ReLU, Sigmoid, Tanh, get_activation
-from .attention import MeanSegmentAggregation, MultiHeadSegmentAttention
+from .attention import FactoredEdgeAttr, MeanSegmentAggregation, MultiHeadSegmentAttention
 from .dropout import Dropout
 from .embedding import Embedding
 from .linear import Linear
@@ -21,6 +21,7 @@ __all__ = [
     "LayerNorm",
     "MLP",
     "MultiHeadSegmentAttention",
+    "FactoredEdgeAttr",
     "MeanSegmentAggregation",
     "ReLU",
     "LeakyReLU",

@@ -23,10 +23,61 @@ from typing import Optional
 
 import numpy as np
 
-from ..tensor import Tensor, concat, gather_rows, segment_softmax, segment_sum
+from ..tensor import (
+    Tensor,
+    concat,
+    edge_message,
+    fast_kernels_enabled,
+    gather_rows,
+    segment_attention,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
 from . import init
 from .linear import Linear
 from .module import Module, Parameter
+
+
+class FactoredEdgeAttr:
+    """Edge attributes in factored (pre-gather) form.
+
+    Many edge types build their attribute matrix by gathering rows of a much
+    smaller table -- e.g. capacity edge embeddings are
+    ``concat([b[dst_regions], b[src_regions]])`` for a per-region table ``b``.
+    Materialising the ``(E, edge_dim)`` matrix only to push it through the
+    linear fusion layer wastes both bandwidth and an E-row matmul: because
+    the fusion is linear, each block can be projected at table size first and
+    gathered after.  This container keeps the blocks apart so
+    :class:`MultiHeadSegmentAttention` can exploit that.
+
+    Parameters
+    ----------
+    static:
+        Dense per-edge block ``(E, s)`` occupying the leading edge-attribute
+        columns, or ``None``.
+    blocks:
+        Sequence of ``(values, index)`` pairs: ``values`` is a ``(N_i, d_i)``
+        tensor and ``index`` an ``(E,)`` row map.  Blocks occupy the columns
+        after ``static`` in order.
+    """
+
+    __slots__ = ("static", "blocks", "dim")
+
+    def __init__(self, static: Optional[Tensor], blocks) -> None:
+        self.static = static
+        self.blocks = tuple(blocks)
+        dim = 0 if static is None else static.shape[1]
+        for values, _ in self.blocks:
+            dim += values.shape[1]
+        self.dim = dim
+
+    def dense(self) -> Tensor:
+        """Materialise the equivalent ``(E, edge_dim)`` attribute tensor."""
+        parts = [] if self.static is None else [self.static]
+        for values, index in self.blocks:
+            parts.append(gather_rows(values, index))
+        return parts[0] if len(parts) == 1 else concat(parts, axis=1)
 
 
 class MultiHeadSegmentAttention(Module):
@@ -95,11 +146,66 @@ class MultiHeadSegmentAttention(Module):
         num_edges = len(src_index)
         if num_edges == 0:
             return Tensor(np.zeros((num_targets, self.out_dim)))
+        if self.edge_dim and edge_attr is None:
+            raise ValueError("edge_attr required: edge_dim > 0")
+
+        if fast_kernels_enabled():
+            # Fast path.  Two rewrites feed one fused kernel:
+            #
+            # * the fusion layer is linear, so project the source nodes
+            #   *before* gathering them onto edges --
+            #   ``concat([z[src], phi]) @ W == (z @ W_z)[src] + phi @ W_phi``.
+            #   The node-side matmul shrinks from E rows to N_src rows
+            #   (edges outnumber nodes by an order of magnitude);
+            # * the bilinear score ``K W_e Q^T == K . (Q W_e^T)`` folds W_e
+            #   into the query side, moving the (head_dim, head_dim) matmul
+            #   from E edge rows to the far fewer target rows.
+            #
+            # Everything from the key projection to the final relu then runs
+            # as a single autograd node (see repro.tensor.segment_attention)
+            # instead of a ~10-node chain of E-row intermediates.
+            w = self.fuse.weight
+            source_dim = source.shape[1]
+            pre = source @ w[:source_dim]
+            extras = ()
+            if not self.edge_dim:
+                eproj = None
+            elif isinstance(edge_attr, FactoredEdgeAttr):
+                # Project each factored block at table size, gather inside
+                # edge_message -- no (E, edge_dim) matrix is ever built.
+                off = source_dim
+                eproj = None
+                if edge_attr.static is not None:
+                    s = edge_attr.static.shape[1]
+                    eproj = edge_attr.static @ w[off : off + s]
+                    off += s
+                extras = []
+                for values, index in edge_attr.blocks:
+                    d = values.shape[1]
+                    extras.append((values @ w[off : off + d], index))
+                    off += d
+            else:
+                eproj = edge_attr @ w[source_dim:]
+            fused = edge_message(pre, eproj, self.fuse.bias, src_index, extra=extras)
+            queries = self.query_proj(target)
+            q_we = (
+                queries.reshape(num_targets * self.num_heads, self.head_dim)
+                @ self.edge_type_weight.T
+            ).reshape(num_targets, self.num_heads, self.head_dim)
+            return segment_attention(
+                fused,
+                self.key_proj.weight,
+                q_we,
+                dst_index,
+                num_targets,
+                self.scale,
+                negative_slope=0.2,
+            )
 
         src_emb = gather_rows(source, src_index)
         if self.edge_dim:
-            if edge_attr is None:
-                raise ValueError("edge_attr required: edge_dim > 0")
+            if isinstance(edge_attr, FactoredEdgeAttr):
+                edge_attr = edge_attr.dense()
             fused_in = concat([src_emb, edge_attr], axis=1)
         else:
             fused_in = src_emb
@@ -109,8 +215,8 @@ class MultiHeadSegmentAttention(Module):
         queries = self.query_proj(target).reshape(
             num_targets, self.num_heads, self.head_dim
         )
-        q_edge = gather_rows(queries, dst_index)
 
+        q_edge = gather_rows(queries, dst_index)
         # Bilinear score K W_e Q^T per edge per head.
         keys_we = (
             keys.reshape(num_edges * self.num_heads, self.head_dim)
@@ -154,8 +260,9 @@ class MeanSegmentAggregation(Module):
         num_targets = target.shape[0]
         if len(src_index) == 0:
             return Tensor(np.zeros((num_targets, self._out_dim)))
-        src_emb = gather_rows(source, src_index)
-        messages = self.proj(src_emb).relu()
-        from ..tensor import segment_mean
-
+        if fast_kernels_enabled():
+            # Project before gathering (see MultiHeadSegmentAttention).
+            messages = gather_rows(self.proj(source), src_index).relu()
+        else:
+            messages = self.proj(gather_rows(source, src_index)).relu()
         return segment_mean(messages, dst_index, num_targets)

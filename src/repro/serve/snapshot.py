@@ -245,11 +245,13 @@ class ModelSnapshot:
                 periods, k, self.time_heads, head_dim
             )
             scale = 1.0 / np.sqrt(head_dim)
-            scores = (keys * queries).sum(axis=3) * scale  # (P, K, H)
+            # Same einsum contractions as repro.tensor.period_attention --
+            # the bit-for-bit serving guarantee needs identical expressions.
+            scores = np.einsum("pkhd,pkhd->pkh", keys, queries) * scale
             shifted = scores - scores.max(axis=0, keepdims=True)
             exp = np.exp(shifted)
             weights = exp / exp.sum(axis=0, keepdims=True)
-            mixed = (keys * weights[..., None]).sum(axis=0)  # (K, H, hd)
+            mixed = np.einsum("pkhd,pkh->khd", keys, weights)  # (K, H, hd)
             fused = mixed.reshape(k, dim)
             fused = fused * (fused > 0)  # relu, as Tensor.relu computes it
         else:

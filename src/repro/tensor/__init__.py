@@ -4,19 +4,35 @@ The paper's reference implementation runs on PyTorch; this package is the
 self-contained replacement used by every model in the repository.
 """
 
+from . import cnative
 from .grad_check import check_gradients, numerical_gradient
 from .ops import (
     concat,
+    edge_message,
     gather_rows,
+    gather_rows_reference,
     ones,
+    period_attention,
+    segment_attention,
     segment_counts,
     segment_mean,
     segment_softmax,
+    segment_softmax_reference,
     segment_sum,
+    segment_sum_reference,
     softmax,
     stack,
     where,
     zeros,
+)
+from .segment import (
+    SegmentPlan,
+    clear_plan_cache,
+    fast_kernels_enabled,
+    get_plan,
+    plan_cache_info,
+    set_fast_kernels,
+    use_fast_kernels,
 )
 from .tensor import Tensor, as_tensor, unbroadcast
 
@@ -27,14 +43,28 @@ __all__ = [
     "concat",
     "stack",
     "gather_rows",
+    "gather_rows_reference",
+    "edge_message",
     "segment_sum",
+    "segment_sum_reference",
     "segment_mean",
     "segment_counts",
     "segment_softmax",
+    "segment_softmax_reference",
+    "segment_attention",
+    "period_attention",
     "softmax",
     "where",
     "zeros",
     "ones",
     "check_gradients",
     "numerical_gradient",
+    "SegmentPlan",
+    "get_plan",
+    "plan_cache_info",
+    "clear_plan_cache",
+    "fast_kernels_enabled",
+    "set_fast_kernels",
+    "cnative",
+    "use_fast_kernels",
 ]

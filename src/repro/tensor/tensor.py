@@ -193,10 +193,16 @@ class Tensor:
         a, b = self, other
 
         def backward(grad: np.ndarray):
-            return (
-                (a, unbroadcast(grad, a.shape)),
-                (b, unbroadcast(grad, b.shape)),
-            )
+            # Gradients are only materialised for parents that need them:
+            # constants (edge attributes, dropout masks, feature matrices)
+            # are everywhere in the hot path and their grads would be
+            # computed only to be discarded by the driver.
+            out = []
+            if a.requires_grad:
+                out.append((a, unbroadcast(grad, a.shape)))
+            if b.requires_grad:
+                out.append((b, unbroadcast(grad, b.shape)))
+            return out
 
         return Tensor(a.data + b.data, parents=(a, b), backward=backward)
 
@@ -208,10 +214,12 @@ class Tensor:
         a, b = self, other
 
         def backward(grad: np.ndarray):
-            return (
-                (a, unbroadcast(grad, a.shape)),
-                (b, unbroadcast(-grad, b.shape)),
-            )
+            out = []
+            if a.requires_grad:
+                out.append((a, unbroadcast(grad, a.shape)))
+            if b.requires_grad:
+                out.append((b, unbroadcast(-grad, b.shape)))
+            return out
 
         return Tensor(a.data - b.data, parents=(a, b), backward=backward)
 
@@ -223,10 +231,12 @@ class Tensor:
         a, b = self, other
 
         def backward(grad: np.ndarray):
-            return (
-                (a, unbroadcast(grad * b.data, a.shape)),
-                (b, unbroadcast(grad * a.data, b.shape)),
-            )
+            out = []
+            if a.requires_grad:
+                out.append((a, unbroadcast(grad * b.data, a.shape)))
+            if b.requires_grad:
+                out.append((b, unbroadcast(grad * a.data, b.shape)))
+            return out
 
         return Tensor(a.data * b.data, parents=(a, b), backward=backward)
 
@@ -238,10 +248,12 @@ class Tensor:
         a, b = self, other
 
         def backward(grad: np.ndarray):
-            return (
-                (a, unbroadcast(grad / b.data, a.shape)),
-                (b, unbroadcast(-grad * a.data / (b.data**2), b.shape)),
-            )
+            out = []
+            if a.requires_grad:
+                out.append((a, unbroadcast(grad / b.data, a.shape)))
+            if b.requires_grad:
+                out.append((b, unbroadcast(-grad * a.data / (b.data**2), b.shape)))
+            return out
 
         return Tensor(a.data / b.data, parents=(a, b), backward=backward)
 
@@ -276,18 +288,31 @@ class Tensor:
 
         def backward(grad: np.ndarray):
             a_data, b_data = a.data, b.data
+            need_a, need_b = a.requires_grad, b.requires_grad
+            out = []
             if a_data.ndim == 1 and b_data.ndim == 1:
-                return ((a, grad * b_data), (b, grad * a_data))
-            if a_data.ndim == 1:
-                return ((a, grad @ b_data.T), (b, np.outer(a_data, grad)))
-            if b_data.ndim == 1:
-                return ((a, np.outer(grad, b_data)), (b, a_data.T @ grad))
-            ga = grad @ np.swapaxes(b_data, -1, -2)
-            gb = np.swapaxes(a_data, -1, -2) @ grad
-            return (
-                (a, unbroadcast(ga, a_data.shape)),
-                (b, unbroadcast(gb, b_data.shape)),
-            )
+                if need_a:
+                    out.append((a, grad * b_data))
+                if need_b:
+                    out.append((b, grad * a_data))
+            elif a_data.ndim == 1:
+                if need_a:
+                    out.append((a, grad @ b_data.T))
+                if need_b:
+                    out.append((b, np.outer(a_data, grad)))
+            elif b_data.ndim == 1:
+                if need_a:
+                    out.append((a, np.outer(grad, b_data)))
+                if need_b:
+                    out.append((b, a_data.T @ grad))
+            else:
+                if need_a:
+                    ga = grad @ np.swapaxes(b_data, -1, -2)
+                    out.append((a, unbroadcast(ga, a_data.shape)))
+                if need_b:
+                    gb = np.swapaxes(a_data, -1, -2) @ grad
+                    out.append((b, unbroadcast(gb, b_data.shape)))
+            return out
 
         return Tensor(a.data @ b.data, parents=(a, b), backward=backward)
 
@@ -464,10 +489,20 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         a = self
         shape = a.shape
+        # Slices and plain ints cannot alias, so the scatter-add collapses
+        # to a direct in-place add; only fancy (array) indices need the
+        # slow duplicate-aware np.add.at.
+        simple = isinstance(index, (int, slice)) or (
+            isinstance(index, tuple)
+            and all(isinstance(i, (int, slice)) for i in index)
+        )
 
         def backward(grad: np.ndarray):
             full = np.zeros(shape, dtype=np.float64)
-            np.add.at(full, index, grad)
+            if simple:
+                full[index] += grad
+            else:
+                np.add.at(full, index, grad)
             return ((a, full),)
 
         return Tensor(a.data[index], parents=(a,), backward=backward)
