@@ -18,10 +18,9 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from common import emit, motivation_city, run_once
+from common import BENCH_SCALE, cached_dataset, emit, run_once
 
 from repro.core import O2SiteRec, save_model
-from repro.data import SiteRecDataset
 from repro.nn import init
 from repro.serve import ModelSnapshot, RecommendationService
 
@@ -75,9 +74,8 @@ def _serve_load(service, snapshot, cached: bool):
 
 
 def _experiment(tmp_dir):
-    sim = motivation_city()
-    dataset = SiteRecDataset.from_simulation(sim)
-    split = dataset.split(seed=0)
+    # Same artifact as motivation_city(): real preset, seed 7, bench scale.
+    dataset, split = cached_dataset("real", seed=0, scale=max(BENCH_SCALE, 0.7))
     init.seed(11)
     model = O2SiteRec(dataset, split)  # untrained weights; latency-identical
 

@@ -37,8 +37,27 @@ def bench_harness() -> HarnessConfig:
 
 @functools.lru_cache(maxsize=1)
 def motivation_city():
-    """One simulated month shared by the motivation benches (Figs. 1-5)."""
+    """One simulated month shared by the motivation benches (Figs. 1-5).
+
+    ``real_world_dataset`` routes through the pipeline artifact cache
+    (``O2_PIPELINE_CACHE``), so across bench *processes* the month is
+    simulated once and replayed from disk thereafter; the ``lru_cache``
+    only deduplicates within a process.
+    """
     return real_world_dataset(seed=7, scale=max(BENCH_SCALE, 0.7))
+
+
+def cached_dataset(kind: str, seed: int = 0, scale: float | None = None):
+    """The (dataset, split) a harness round would build, cache-served.
+
+    Every bench that needs a ready-to-train dataset goes through here (and
+    so through :func:`repro.data.cache.cached_dataset`) instead of
+    hand-rolling ``SiteRecDataset.from_simulation`` -- one artifact on disk
+    feeds them all.  ``scale`` defaults to the suite's ``BENCH_SCALE``.
+    """
+    from repro.data.cache import cached_dataset as _cached
+
+    return _cached(kind, seed, BENCH_SCALE if scale is None else scale)
 
 
 def emit(experiment_id: str, text: str) -> None:

@@ -100,8 +100,25 @@ class CourierFleet:
         scope = cfg.base_scope_m * rho**0.35
         return float(np.clip(scope, cfg.min_scope_m, cfg.max_scope_m))
 
+    def congestion_matrix(self) -> np.ndarray:
+        """``(N, P)`` congestion multipliers for all regions and periods.
+
+        Built from the scalar :meth:`congestion` on purpose: numpy's
+        vectorised transcendentals (SIMD ``pow``/``exp``) can differ from
+        the scalar kernels in the last ulp, and downstream consumers need
+        bitwise parity with the per-order reference loop.  The matrix is
+        computed once per simulation, so speed is irrelevant here.
+        """
+        n, p = self.ratio.shape
+        return np.array(
+            [
+                [self.congestion(r, TimePeriod(t)) for t in range(p)]
+                for r in range(n)
+            ]
+        )
+
     def scope_matrix(self) -> np.ndarray:
-        """``(N, P)`` delivery scopes for all regions and periods."""
+        """``(N, P)`` delivery scopes; scalar math, see congestion_matrix."""
         n, p = self.ratio.shape
         return np.array(
             [

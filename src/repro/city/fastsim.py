@@ -1,0 +1,72 @@
+"""Switch for the vectorised simulation fast path (``O2_FAST_SIM``).
+
+The reference simulator (:mod:`repro.city.orders`, :mod:`repro.city.dispatch`,
+:func:`repro.city.simulator._resynthesize_customer_locations`) draws every
+per-order random variate and assembles every record inside nested Python
+loops.  The fast path produces **bit-for-bit identical** order streams by
+
+* consuming the shared RNG in exactly the reference draw order (grouped
+  draws stay grouped, per-order draws stay per-order, only consolidated
+  into fewer ``Generator`` calls that provably consume the same bits), and
+* moving all derived arithmetic (locations, timestamps, delivery times)
+  out of the loop into columnar numpy expressions that reproduce the
+  reference's scalar operation order elementwise.
+
+The equivalences this relies on (verified by ``tests/test_fast_sim.py``):
+
+* ``rng.random(n)`` draws the same doubles as ``n`` scalar ``rng.random()``
+  calls;
+* ``rng.lognormal(0.0, [s1, s2])`` draws the same values as two scalar
+  ``rng.lognormal(0.0, si)`` calls;
+* ``rng.normal(0.0, s)`` equals ``s * rng.standard_normal()`` bit-for-bit
+  (``0.0 + s*z`` cannot round differently from ``s*z``);
+* ``rng.choice(a, size=k, p=p)`` equals ``a[cdf.searchsorted(rng.random(k),
+  'right')]`` with ``cdf = p.cumsum(); cdf /= cdf[-1]`` -- numpy's own
+  implementation of the replacement path.
+
+Like ``O2_FAST_KERNELS`` the switch defaults to on; ``O2_FAST_SIM=0`` pins
+the reference loops (which reproduce the pre-optimisation records exactly,
+because they *are* the pre-optimisation code).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["fast_sim_enabled", "set_fast_sim", "use_fast_sim"]
+
+_fast_sim = os.environ.get("O2_FAST_SIM", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+
+def fast_sim_enabled() -> bool:
+    """Whether the simulator uses the vectorised (columnar) hot loops."""
+    return _fast_sim
+
+
+def set_fast_sim(enabled: bool) -> bool:
+    """Toggle the fast simulation path; returns the previous setting."""
+    global _fast_sim
+    previous = _fast_sim
+    _fast_sim = bool(enabled)
+    return previous
+
+
+class use_fast_sim:
+    """Context manager pinning the fast-sim switch (tests/benchmarks)."""
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = enabled
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> "use_fast_sim":
+        self._previous = set_fast_sim(self._enabled)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._previous is not None
+        set_fast_sim(self._previous)

@@ -16,12 +16,19 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..data.cache import LRUCache
 from ..data.periods import NUM_PERIODS, TimePeriod
 from ..data.records import MINUTES_PER_DAY, OrderRecord
 from .config import CityConfig
 from .couriers import CourierFleet
+from .fastsim import fast_sim_enabled
 from .landuse import CityLandUse
 from .stores import PlacedStore
+
+# Hard cap on cached (region, type, period) store-choice tables.  The
+# per-generator bound is the city's own key count when that is smaller, so
+# normal cities cache every cell while huge sweeps stay bounded (~2 KB/entry).
+CHOICE_CACHE_SIZE = 65536
 
 
 @dataclass
@@ -84,17 +91,17 @@ class OrderGenerator:
         )  # (T, 4)
         self._prep = np.array([t.prep_minutes for t in config.store_types])
         # Congestion multiplier per (store, period), from the store's region.
-        self._congestion = np.array(
-            [
-                [
-                    fleet.congestion(s.record.region, TimePeriod(t))
-                    for t in range(NUM_PERIODS)
-                ]
-                for s in stores
-            ]
+        self._store_regions = np.array(
+            [s.record.region for s in stores], dtype=np.int64
         )
+        self._congestion = fleet.congestion_matrix()[self._store_regions]
         self._scopes = fleet.scope_matrix()  # (N, P)
-        self._choice_cache: Dict[Tuple[int, int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        self._choice_cache: LRUCache = LRUCache(
+            maxsize=min(
+                land.num_regions * config.num_store_types * NUM_PERIODS,
+                CHOICE_CACHE_SIZE,
+            )
+        )
 
     # ------------------------------------------------------------------
     def _type_probabilities(self, region: int, period: TimePeriod) -> np.ndarray:
@@ -111,11 +118,15 @@ class OrderGenerator:
 
     def _store_choice(
         self, region: int, store_type: int, period: TimePeriod
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Candidate store indices (into the per-type table) and probabilities.
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Candidate store lookup for one (region, type, period) cell.
 
-        Cached per (region, type, period): scopes and congestion are static
-        within a simulated month.
+        Returns ``(candidates, probs, cdf, global_indices)``: positions in
+        the per-type table, their choice probabilities, the normalised
+        cumulative distribution (the fast path inlines ``rng.choice`` as an
+        inverse-CDF lookup), and the matching global store indices.  Cached
+        per (region, type, period) -- scopes and congestion are static
+        within a simulated month -- in a bounded LRU.
         """
         key = (region, store_type, int(period))
         cached = self._choice_cache.get(key)
@@ -124,8 +135,14 @@ class OrderGenerator:
 
         table = self._store_index[store_type]
         if len(table.indices) == 0:
-            self._choice_cache[key] = (np.array([], dtype=np.int64), np.array([]))
-            return self._choice_cache[key]
+            empty = (
+                np.array([], dtype=np.int64),
+                np.array([]),
+                np.array([]),
+                np.array([], dtype=np.int64),
+            )
+            self._choice_cache[key] = empty
+            return empty
 
         cfg = self.config
         centroid = self._centroids[region]
@@ -153,12 +170,24 @@ class OrderGenerator:
         )
         total = weights.sum()
         probs = weights / total if total > 0 else np.full(len(weights), 1.0 / len(weights))
-        self._choice_cache[key] = (candidates, probs)
-        return self._choice_cache[key]
+        # Inverse-CDF table, normalised exactly the way ``rng.choice`` does
+        # internally so the fast path's searchsorted draws match bit-for-bit.
+        cdf = probs.cumsum()
+        cdf /= cdf[-1]
+        entry = (candidates, probs, cdf, table.indices[candidates])
+        self._choice_cache[key] = entry
+        return entry
 
     # ------------------------------------------------------------------
     def generate(self) -> List[OrderRecord]:
-        """Simulate ``config.num_days`` days of orders."""
+        """Simulate ``config.num_days`` days of orders.
+
+        With :func:`repro.city.fastsim.fast_sim_enabled` the columnar fast
+        path runs instead of the reference loop; the two produce identical
+        record streams (``tests/test_fast_sim.py``).
+        """
+        if fast_sim_enabled():
+            return self._generate_fast()
         cfg = self.config
         rng = self.rng
         orders: List[OrderRecord] = []
@@ -187,7 +216,7 @@ class OrderGenerator:
                         k = int(type_counts[store_type])
                         candidates, probs = self._store_choice(
                             region, int(store_type), period
-                        )
+                        )[:2]
                         if len(candidates) == 0:
                             continue  # type has no store anywhere
                         picks = rng.choice(candidates, size=k, p=probs)
@@ -204,6 +233,255 @@ class OrderGenerator:
                             )
                             order_counter += 1
         return orders
+
+    # -- columnar fast path --------------------------------------------
+    def _courier_pools(self) -> Tuple[List[List[str]], List[int]]:
+        """Per-region courier-id pools with the empty-pool fallback applied.
+
+        ``CourierFleet.sample_courier`` flattens the whole fleet whenever a
+        region has no home couriers; precomputing the flattened pool once
+        keeps the fast path's ``rng.integers(len(pool))`` draws identical.
+        """
+        pools = self.fleet.couriers_by_region
+        flat = [c for regional in pools for c in regional]
+        effective = [p if p else flat for p in pools]
+        return effective, [len(p) for p in effective]
+
+    def _generate_fast(self) -> List[OrderRecord]:
+        """Columnar twin of the reference loop above.
+
+        RNG calls happen in exactly the reference order: the per-day and
+        per-period group draws are unchanged, ``rng.choice`` becomes the
+        equivalent ``rng.random(k)`` + inverse-CDF lookup, and the per-order
+        draws run in a tight buffer-filling loop (three uniforms as one
+        ``rng.random(3)``, the delivery-noise ``normal`` as a
+        ``standard_normal`` scaled later).  All derived arithmetic is
+        deferred to :meth:`_assemble_fast`.
+        """
+        cfg = self.config
+        rng = self.rng
+        cols = self.land.grid.cols
+        noisy = cfg.observation_noise > 0
+
+        rand = rng.random
+        rexp = rng.exponential
+        rlog = rng.lognormal
+        rint = rng.integers
+        rstd = rng.standard_normal
+
+        _, pool_sizes = self._courier_pools()
+        store_regions = self._store_regions
+        choice_get = self._choice_cache.get
+        type_prob_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+        # Per-order draw buffers (plain lists: append beats array stores at
+        # the typical group size of 1-2 picks) and per-group metadata.
+        u0, u1, u2 = [], [], []
+        exp_d, prep_ln, deliv_ln, noise_z = [], [], [], []
+        cust, cour = [], []
+        picked_groups = []  # (k,) global store indices per group
+        g_meta = []  # (base_minute, duration, t, col, row, region, type, k)
+
+        for day in range(cfg.num_days):
+            weekend = day % 7 in (5, 6)
+            day_factor = (1.15 if weekend else 1.0) * rng.lognormal(
+                0.0, cfg.demand_noise
+            )
+            for period in TimePeriod:
+                t = int(period)
+                start_hour, end_hour = period.hours
+                lam = (
+                    self.fleet.demand_rate[:, t]
+                    * period.duration_hours
+                    * day_factor
+                )
+                counts = rng.poisson(lam)
+                base = day * MINUTES_PER_DAY + start_hour * 60
+                duration = end_hour - start_hour
+
+                for region in np.flatnonzero(counts).tolist():
+                    n = int(counts[region])
+                    type_probs = type_prob_cache.get((region, t))
+                    if type_probs is None:
+                        type_probs = self._type_probabilities(region, period)
+                        type_prob_cache[(region, t)] = type_probs
+                    type_counts = rng.multinomial(n, type_probs)
+                    row, col = divmod(region, cols)
+                    for store_type in np.flatnonzero(type_counts).tolist():
+                        k = int(type_counts[store_type])
+                        entry = choice_get((region, store_type, t))
+                        if entry is None:
+                            entry = self._store_choice(
+                                region, store_type, period
+                            )
+                        candidates, _, cdf, global_idx = entry
+                        if len(candidates) == 0:
+                            continue  # type has no store anywhere
+                        # rng.choice(candidates, size=k, p=probs), inlined.
+                        picked = global_idx[
+                            cdf.searchsorted(rand(k), side="right")
+                        ]
+                        picked_groups.append(picked)
+                        g_meta.append(
+                            (base, duration, t, col, row, region, store_type, k)
+                        )
+                        if noisy:
+                            for sr in store_regions[picked].tolist():
+                                u0.append(rand())
+                                u1.append(rand())
+                                u2.append(rand())
+                                exp_d.append(rexp(1.2))
+                                prep_ln.append(rlog(0.0, 0.2))
+                                deliv_ln.append(rlog(0.0, 0.12))
+                                noise_z.append(rstd())
+                                cust.append(rint(10_000))
+                                cour.append(rint(pool_sizes[sr]))
+                        else:
+                            for sr in store_regions[picked].tolist():
+                                u0.append(rand())
+                                u1.append(rand())
+                                u2.append(rand())
+                                exp_d.append(rexp(1.2))
+                                prep_ln.append(rlog(0.0, 0.2))
+                                deliv_ln.append(rlog(0.0, 0.12))
+                                cust.append(rint(10_000))
+                                cour.append(rint(pool_sizes[sr]))
+
+        if not picked_groups:
+            return []
+        draws = {
+            "u0": np.array(u0),
+            "u1": np.array(u1),
+            "u2": np.array(u2),
+            "exp": np.array(exp_d),
+            "prep_ln": np.array(prep_ln),
+            "deliv_ln": np.array(deliv_ln),
+            "noise_z": np.array(noise_z) if noisy else None,
+            "cust": np.array(cust, dtype=np.int64),
+            "cour": np.array(cour, dtype=np.int64),
+        }
+        return self._assemble_fast(picked_groups, g_meta, draws, noisy)
+
+    def _assemble_fast(
+        self, picked_groups, g_meta, draws, noisy: bool
+    ) -> List[OrderRecord]:
+        """Turn draw buffers into ``OrderRecord``s with columnar arithmetic.
+
+        Each expression mirrors the scalar operation order of
+        :meth:`_make_order` exactly (same grouping, same operand order) so
+        every float matches the reference bit-for-bit.
+        """
+        cfg = self.config
+        grid = self.land.grid
+
+        gidx = np.concatenate(picked_groups)
+        meta = np.array(g_meta, dtype=np.int64)  # (G, 8)
+        ks = meta[:, 7]
+        base = np.repeat(meta[:, 0], ks)
+        duration = np.repeat(meta[:, 1], ks)
+        t_arr = np.repeat(meta[:, 2], ks)
+        col = np.repeat(meta[:, 3], ks)
+        row = np.repeat(meta[:, 4], ks)
+        creg = np.repeat(meta[:, 5], ks)
+        stype = np.repeat(meta[:, 6], ks)
+        uni = np.stack([draws["u0"], draws["u1"], draws["u2"]], axis=1)
+        exp_d = draws["exp"]
+        prep_ln = draws["prep_ln"]
+        deliv_ln = draws["deliv_ln"]
+        cust = draws["cust"]
+        cour = draws["cour"]
+
+        stores = self.stores
+        store_x = np.array([s.x for s in stores])
+        store_y = np.array([s.y for s in stores])
+        store_lon = np.array([s.record.lon for s in stores])
+        store_lat = np.array([s.record.lat for s in stores])
+        store_ids = [s.record.store_id for s in stores]
+
+        # _make_order, columnar.  Comments give the scalar original.
+        # cx = (col + u) * cell; cy = (row + u) * cell
+        cx = (col + uni[:, 0]) * cfg.cell_size
+        cy = (row + uni[:, 1]) * cfg.cell_size
+        sx = store_x[gidx]
+        sy = store_y[gidx]
+        distance = np.hypot(sx - cx, sy - cy)
+        # created = day*1440 + start*60 + u*(end-start)*60
+        created = base + (uni[:, 2] * duration) * 60
+        accepted = created + 0.3 + exp_d
+        # prep = max(2.0, prep_minutes[type] * lognormal)
+        prep = np.maximum(2.0, self._prep[stype] * prep_ln)
+        pickup = accepted + prep
+        # CourierFleet.delivery_minutes, columnar:
+        travel = distance / cfg.courier_speed_m_per_min
+        minutes = cfg.handling_minutes + travel * self._congestion[gidx, t_arr]
+        minutes = minutes * deliv_ln
+        if noisy:
+            # rng.normal(0.0, s) == s * standard_normal(), bit-for-bit.
+            minutes = minutes + (cfg.observation_noise * minutes) * draws[
+                "noise_z"
+            ]
+        delivery = np.maximum(minutes, 2.0)
+        delivered = pickup + delivery
+        clon, clat = grid.to_lonlat(cx, cy)
+
+        pools, _ = self._courier_pools()
+        sregs = self._store_regions[gidx]
+        records = [
+            OrderRecord(
+                f"O{i:07d}",
+                store_ids[g],
+                f"U{r:04d}_{u:04d}",
+                pools[sr][ci],
+                slon,
+                slat,
+                lon,
+                lat,
+                sr,
+                r,
+                cr,
+                ac,
+                pu,
+                de,
+                dist,
+                st,
+            )
+            for i, (
+                g,
+                r,
+                u,
+                sr,
+                ci,
+                slon,
+                slat,
+                lon,
+                lat,
+                cr,
+                ac,
+                pu,
+                de,
+                dist,
+                st,
+            ) in enumerate(
+                zip(
+                    gidx.tolist(),
+                    creg.tolist(),
+                    cust.tolist(),
+                    sregs.tolist(),
+                    cour.tolist(),
+                    store_lon[gidx].tolist(),
+                    store_lat[gidx].tolist(),
+                    clon.tolist(),
+                    clat.tolist(),
+                    created.tolist(),
+                    accepted.tolist(),
+                    pickup.tolist(),
+                    delivered.tolist(),
+                    distance.tolist(),
+                    stype.tolist(),
+                )
+            )
+        ]
+        return records
 
     def _make_order(
         self,

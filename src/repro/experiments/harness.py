@@ -15,7 +15,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..baselines import BASELINE_REGISTRY
-from ..city import real_world_dataset, simulation_dataset
 from ..core import O2SiteRec, O2SiteRecConfig, TrainConfig, Trainer
 from ..data import SiteRecDataset
 from ..data.split import InteractionSplit
@@ -61,16 +60,15 @@ def build_dataset(
     """One experiment round's dataset + 80/20 split.
 
     ``kind`` is ``"real"`` (the Eleme-month stand-in) or ``"sim"`` (the
-    sparser open-dataset stand-in).
+    sparser open-dataset stand-in).  Served through the pipeline artifact
+    cache when ``O2_PIPELINE_CACHE`` is enabled (see
+    :mod:`repro.data.cache`): a table run then simulates each
+    (kind, seed, scale) once ever, across rounds, worker processes,
+    benchmark scripts and repeat invocations.
     """
-    if kind == "real":
-        sim = real_world_dataset(seed=7 + seed, scale=scale)
-    elif kind == "sim":
-        sim = simulation_dataset(seed=11 + seed, scale=scale)
-    else:
-        raise ValueError(f"unknown dataset kind {kind!r}")
-    dataset = SiteRecDataset.from_simulation(sim)
-    return dataset, dataset.split(seed=seed)
+    from ..data.cache import cached_dataset
+
+    return cached_dataset(kind, seed, scale)
 
 
 def _seed_init(seed: int, key: str) -> None:
@@ -159,6 +157,31 @@ class ComparisonTable:
         return (ours - theirs) / theirs
 
 
+def _run_cell(cell: Tuple) -> Tuple[str, int, EvaluationResult]:
+    """Train and evaluate one (round, model) cell of a comparison table.
+
+    Top-level (picklable) so :func:`repro.parallel.process_map` can fan
+    cells out across worker processes.  Results are identical to the serial
+    loop: weight init is keyed by (seed, model) via ``_seed_init`` and the
+    round's dataset is a pure function of (kind, seed, scale) -- with the
+    artifact cache enabled, workers share one simulation per round instead
+    of each re-running it.
+    """
+    kind, config, r, name, setting = cell
+    seed = config.base_seed + r
+    dataset, split = build_dataset(kind, seed, config.scale)
+    if name is None:
+        key = "O2-SiteRec"
+        model = train_o2siterec(dataset, split, config, seed=seed)
+    else:
+        key = f"{name}/{setting}"
+        model = train_baseline(name, setting, dataset, split, config, seed)
+    result = evaluate_model(
+        model, dataset, split, top_n=config.top_n, top_n_frac=config.top_n_frac
+    )
+    return key, r, result
+
+
 def compare_models(
     kind: str = "real",
     config: Optional[HarnessConfig] = None,
@@ -175,30 +198,53 @@ def compare_models(
     ),
     verbose: bool = False,
 ) -> ComparisonTable:
-    """Run the full multi-round model comparison (Tables III and IV)."""
+    """Run the full multi-round model comparison (Tables III and IV).
+
+    With ``O2_NUM_PROCS`` > 1 (or :func:`repro.parallel.set_num_procs`),
+    the independent (round, model) cells fan out across worker processes;
+    the assembled table is identical to a serial run.
+    """
+    from .. import parallel
+
     config = config or HarnessConfig()
     rows: Dict[str, List[EvaluationResult]] = {}
 
-    for r in range(config.rounds):
-        seed = config.base_seed + r
-        dataset, split = build_dataset(kind, seed, config.scale)
-
-        def record(key: str, model) -> None:
-            result = evaluate_model(model, dataset, split, top_n=config.top_n, top_n_frac=config.top_n_frac)
+    procs = parallel.num_procs()
+    if procs > 1:
+        cells = []
+        for r in range(config.rounds):
+            for name in baselines:
+                for setting in settings:
+                    cells.append((kind, config, r, name, setting))
+            cells.append((kind, config, r, None, None))
+        for key, r, result in parallel.process_map(_run_cell, cells, procs):
             rows.setdefault(key, []).append(result)
             if verbose:
                 print(
                     f"round {r} {key}: "
                     + " ".join(f"{m}={result[m]:.4f}" for m in metrics)
                 )
+    else:
+        for r in range(config.rounds):
+            seed = config.base_seed + r
+            dataset, split = build_dataset(kind, seed, config.scale)
 
-        for name in baselines:
-            for setting in settings:
-                record(
-                    f"{name}/{setting}",
-                    train_baseline(name, setting, dataset, split, config, seed),
-                )
-        record("O2-SiteRec", train_o2siterec(dataset, split, config, seed=seed))
+            def record(key: str, model) -> None:
+                result = evaluate_model(model, dataset, split, top_n=config.top_n, top_n_frac=config.top_n_frac)
+                rows.setdefault(key, []).append(result)
+                if verbose:
+                    print(
+                        f"round {r} {key}: "
+                        + " ".join(f"{m}={result[m]:.4f}" for m in metrics)
+                    )
+
+            for name in baselines:
+                for setting in settings:
+                    record(
+                        f"{name}/{setting}",
+                        train_baseline(name, setting, dataset, split, config, seed),
+                    )
+            record("O2-SiteRec", train_o2siterec(dataset, split, config, seed=seed))
 
     return ComparisonTable(
         rows={k: MultiRoundResult(v) for k, v in rows.items()},

@@ -113,3 +113,83 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
     executor = _get_executor(workers)
     return list(executor.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend (``O2_NUM_PROCS``): coarse-grained experiment
+# fan-out.  Unlike the thread pool above -- which overlaps GIL-releasing
+# numpy kernels -- worker processes sidestep the GIL entirely, so whole
+# harness cells (simulate, build, train, evaluate) run concurrently.
+# Tasks must be top-level functions with picklable arguments and results.
+
+_proc_override: Optional[int] = None
+
+
+def _env_procs() -> int:
+    raw = os.environ.get("O2_NUM_PROCS", "0").strip().lower()
+    if raw in ("", "0", "off", "serial"):
+        return 0
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        return max(int(raw), 0)
+    except ValueError:
+        raise ValueError(
+            f"O2_NUM_PROCS must be an integer, 'auto' or 'off', got {raw!r}"
+        ) from None
+
+
+def num_procs() -> int:
+    """Worker-process count; ``0`` means serial (the default)."""
+    if _proc_override is not None:
+        return _proc_override
+    return _env_procs()
+
+
+def set_num_procs(value: Optional[int]) -> Optional[int]:
+    """Pin the process count (``None`` defers back to ``O2_NUM_PROCS``)."""
+    global _proc_override
+    previous = _proc_override
+    if value is not None and value < 0:
+        raise ValueError("num_procs must be >= 0")
+    _proc_override = value
+    return previous
+
+
+class use_num_procs:
+    """Context manager pinning the process count (tests/benchmarks)."""
+
+    def __init__(self, value: Optional[int]) -> None:
+        self._value = value
+        self._previous: Optional[int] = None
+
+    def __enter__(self) -> "use_num_procs":
+        self._previous = set_num_procs(self._value)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_num_procs(self._previous)
+
+
+def process_map(
+    fn: Callable[[T], R], items: Sequence[T], procs: Optional[int] = None
+) -> List[R]:
+    """``[fn(x) for x in items]`` across worker processes, in item order.
+
+    Serial when fewer than two workers or items are configured.  Each task
+    must seed its own RNG state (cf. ``harness._seed_init``) so results are
+    identical to the serial loop regardless of which worker runs which
+    item.  Workers are forked where available (cheap, inherits imports) and
+    spawned elsewhere.
+    """
+    items = list(items)
+    workers = num_procs() if procs is None else max(procs, 0)
+    workers = min(workers, len(items))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    import multiprocessing as mp
+
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    with ctx.Pool(processes=workers) as pool:
+        return pool.map(fn, items)

@@ -6,8 +6,23 @@ session scope is safe; tests must not mutate these objects.
 
 from __future__ import annotations
 
+import atexit
+import os
+import shutil
+import tempfile
+
 import numpy as np
 import pytest
+
+# Route the pipeline artifact cache (repro.data.cache) to a throwaway
+# directory for the whole test session: repeated simulations of identical
+# configs across test modules replay from disk instead of re-running, and
+# nothing leaks into (or reads from) the user's real cache.  Set before any
+# repro import so every cache_root() call in the session sees it; tests
+# that exercise the cache itself override the variable via monkeypatch.
+_TEST_CACHE_DIR = tempfile.mkdtemp(prefix="o2-test-cache-")
+os.environ.setdefault("O2_PIPELINE_CACHE", _TEST_CACHE_DIR)
+atexit.register(shutil.rmtree, _TEST_CACHE_DIR, ignore_errors=True)
 
 from repro.city import CityConfig, simulate, tiny_dataset
 from repro.data import SiteRecDataset

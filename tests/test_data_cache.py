@@ -1,0 +1,259 @@
+"""Pipeline artifact cache: correctness, invalidation and fail-soft."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.city import CityConfig
+from repro.data import cache as cache_mod
+from repro.data.cache import (
+    LRUCache,
+    cache_key,
+    cache_root,
+    cache_stats,
+    cached_dataset,
+    clear_cache,
+    load_entry,
+    pipeline_cache_enabled,
+    simulate_cached,
+    store_entry,
+)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    """Point the cache at a private directory for one test."""
+    root = tmp_path / "cache"
+    monkeypatch.setenv("O2_PIPELINE_CACHE", str(root))
+    monkeypatch.delenv("O2_PIPELINE_CACHE_MB", raising=False)
+    return root
+
+
+def _tiny_config(**overrides) -> CityConfig:
+    base = dict(
+        rows=6, cols=6, num_days=3, num_couriers=50, seed=3,
+        base_population=2200.0,
+    )
+    base.update(overrides)
+    return CityConfig(**base)
+
+
+# ---------------------------------------------------------------------------
+# LRUCache.
+# ---------------------------------------------------------------------------
+
+def test_lru_cache_evicts_least_recently_used():
+    lru = LRUCache(maxsize=2)
+    lru["a"] = 1
+    lru["b"] = 2
+    assert lru.get("a") == 1  # refreshes "a": "b" is now oldest
+    lru["c"] = 3
+    assert "b" not in lru
+    assert lru.get("a") == 1 and lru.get("c") == 3
+    assert len(lru) == 2
+    lru.clear()
+    assert len(lru) == 0
+    assert lru.get("a", "missing") == "missing"
+
+
+def test_lru_cache_rejects_zero_size():
+    with pytest.raises(ValueError):
+        LRUCache(maxsize=0)
+
+
+# ---------------------------------------------------------------------------
+# Configuration and keys.
+# ---------------------------------------------------------------------------
+
+def test_cache_root_semantics(monkeypatch, tmp_path):
+    monkeypatch.setenv("O2_PIPELINE_CACHE", "0")
+    assert cache_root() is None and not pipeline_cache_enabled()
+    monkeypatch.setenv("O2_PIPELINE_CACHE", "off")
+    assert cache_root() is None
+    monkeypatch.setenv("O2_PIPELINE_CACHE", str(tmp_path / "x"))
+    assert cache_root() == tmp_path / "x"
+    monkeypatch.setenv("O2_PIPELINE_CACHE", "1")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert cache_root() == tmp_path / "xdg" / "o2-siterec" / "pipeline"
+
+
+def test_cache_key_is_stable_and_sensitive():
+    config = _tiny_config()
+    assert cache_key("simulation", config) == cache_key("simulation", config)
+    # Every component of the tuple must move the key.
+    assert cache_key("simulation", config) != cache_key("dataset", config)
+    assert cache_key("simulation", config) != cache_key(
+        "simulation", _tiny_config(seed=4)
+    )
+    assert cache_key("simulation", config) != cache_key(
+        "simulation", _tiny_config(num_days=4)
+    )
+    arr = np.arange(5.0)
+    changed = arr.copy()
+    changed[0] = -1.0
+    assert cache_key("x", arr) != cache_key("x", changed)
+
+
+def test_cache_key_embeds_pipeline_version(monkeypatch):
+    config = _tiny_config()
+    before = cache_key("simulation", config)
+    monkeypatch.setattr(cache_mod, "PIPELINE_VERSION", "test-bump")
+    assert cache_key("simulation", config) != before
+
+
+# ---------------------------------------------------------------------------
+# Entry storage.
+# ---------------------------------------------------------------------------
+
+def test_store_load_round_trip(cache_dir):
+    arrays = {"a": np.arange(12.0).reshape(3, 4), "b": np.arange(3)}
+    payload = {"nested": [1, "two", 3.0]}
+    key = cache_key("test", "round-trip")
+    assert store_entry(key, arrays=arrays, payload=payload, meta={"n": 3})
+
+    entry = load_entry(key)
+    assert entry is not None
+    np.testing.assert_array_equal(entry.arrays["a"], arrays["a"])
+    np.testing.assert_array_equal(entry.arrays["b"], arrays["b"])
+    assert entry.payload == payload
+    assert entry.meta == {"n": 3}
+    # Arrays come back memory-mapped by default.
+    assert isinstance(entry.arrays["a"], np.memmap)
+    assert not isinstance(load_entry(key, mmap=False).arrays["a"], np.memmap)
+
+
+def test_store_is_noop_when_disabled(monkeypatch):
+    monkeypatch.setenv("O2_PIPELINE_CACHE", "0")
+    assert not store_entry(cache_key("test", "x"), payload=1)
+    assert load_entry(cache_key("test", "x")) is None
+    assert cache_stats() == {
+        "enabled": False, "root": None, "entries": 0, "bytes": 0,
+    }
+
+
+def test_corrupt_entry_is_dropped_and_missed(cache_dir):
+    key = cache_key("test", "corrupt")
+    store_entry(key, arrays={"a": np.arange(4)}, payload=[1, 2])
+    entry_dir = cache_dir / key[:2] / key
+    (entry_dir / "payload.pkl").write_bytes(b"not a pickle")
+    assert load_entry(key) is None  # fail-soft: reported as a miss
+    assert not entry_dir.exists()  # and the damaged entry is gone
+
+
+def test_eviction_respects_size_bound(cache_dir, monkeypatch):
+    monkeypatch.setenv("O2_PIPELINE_CACHE_MB", "0.25")  # 256 KiB budget
+    big = np.zeros(25_000)  # ~200 KB per entry
+    first = cache_key("test", "first")
+    second = cache_key("test", "second")
+    store_entry(first, arrays={"a": big})
+    store_entry(second, arrays={"a": big})
+    # Both cannot fit: the older entry was evicted, the newer survives.
+    assert load_entry(first) is None
+    assert load_entry(second) is not None
+    assert cache_stats()["entries"] == 1
+
+
+def test_clear_cache(cache_dir):
+    store_entry(cache_key("test", 1), payload=1)
+    store_entry(cache_key("test", 2), payload=2)
+    assert cache_stats()["entries"] == 2
+    assert clear_cache() == 2
+    assert cache_stats()["entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# High-level artifacts.
+# ---------------------------------------------------------------------------
+
+def test_simulate_cached_replays_identically(cache_dir):
+    from repro.city.simulator import simulate_uncached
+
+    config = _tiny_config()
+    fresh = simulate_uncached(config)
+
+    cold = simulate_cached(config)
+    assert cache_stats()["entries"] == 1
+    warm = simulate_cached(config)  # served from disk
+
+    assert cold.orders == fresh.orders
+    assert warm.orders == fresh.orders
+    # The replayed result also rebuilds the pre-order stages exactly.
+    assert warm.num_stores == fresh.num_stores
+    np.testing.assert_array_equal(warm.fleet.ratio, fresh.fleet.ratio)
+    np.testing.assert_array_equal(
+        warm.store_type_counts(), fresh.store_type_counts()
+    )
+
+
+def test_simulate_cached_misses_on_config_change(cache_dir):
+    simulate_cached(_tiny_config())
+    assert cache_stats()["entries"] == 1
+    simulate_cached(_tiny_config(seed=5))
+    assert cache_stats()["entries"] == 2
+
+
+def test_cached_dataset_round_trip_and_invalidation(cache_dir):
+    cold, cold_split = cached_dataset("real", 0, 0.35)
+    entries_after_cold = cache_stats()["entries"]
+    warm, warm_split = cached_dataset("real", 0, 0.35)
+    assert cache_stats()["entries"] == entries_after_cold  # pure hit
+
+    np.testing.assert_array_equal(warm.targets, cold.targets)
+    np.testing.assert_array_equal(warm_split.train_pairs, cold_split.train_pairs)
+    np.testing.assert_array_equal(warm_split.test_pairs, cold_split.test_pairs)
+
+    # Different seed -> different artifact, not a stale hit.
+    other, _ = cached_dataset("real", 1, 0.35)
+    assert cache_stats()["entries"] > entries_after_cold
+    assert not np.array_equal(other.targets, cold.targets)
+
+
+def test_cached_dataset_version_bump_invalidates(cache_dir, monkeypatch):
+    cached_dataset("real", 0, 0.35)
+    before = cache_stats()["entries"]
+    monkeypatch.setattr(cache_mod, "PIPELINE_VERSION", "test-bump")
+    cached_dataset("real", 0, 0.35)  # old entries unreadable under new key
+    assert cache_stats()["entries"] > before
+
+
+def test_cached_dataset_unknown_kind(cache_dir):
+    with pytest.raises(ValueError, match="unknown dataset kind"):
+        cached_dataset("nope", 0, 0.35)
+
+
+def test_cached_dataset_matches_uncached(cache_dir, monkeypatch):
+    cached, cached_split = cached_dataset("real", 0, 0.35)
+    monkeypatch.setenv("O2_PIPELINE_CACHE", "0")
+    plain, plain_split = cached_dataset("real", 0, 0.35)
+    np.testing.assert_array_equal(cached.targets, plain.targets)
+    np.testing.assert_array_equal(
+        cached_split.train_pairs, plain_split.train_pairs
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+# ---------------------------------------------------------------------------
+
+def test_cli_stats_clear_warm(cache_dir, capsys):
+    assert cache_mod._main(["warm", "--scale", "0.35", "--rounds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "warmed real seed=0" in out
+    assert cache_stats()["entries"] >= 1
+
+    assert cache_mod._main(["stats"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["enabled"] and stats["entries"] >= 1
+
+    assert cache_mod._main(["clear"]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert cache_stats()["entries"] == 0
+
+
+def test_cli_warm_fails_when_disabled(monkeypatch, capsys):
+    monkeypatch.setenv("O2_PIPELINE_CACHE", "0")
+    assert cache_mod._main(["warm"]) == 1
+    assert "disabled" in capsys.readouterr().out

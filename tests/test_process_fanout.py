@@ -1,0 +1,75 @@
+"""Process-pool experiment fan-out (``O2_NUM_PROCS``).
+
+The contract is the same as the thread pool's: a fanned-out run must be
+*indistinguishable* from the serial one -- every harness cell seeds its own
+RNG state, so the comparison table cannot depend on which worker ran which
+cell, or in what order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parallel
+from repro.experiments.harness import HarnessConfig, compare_models
+
+
+def test_env_procs_parsing(monkeypatch):
+    monkeypatch.setattr(parallel, "_proc_override", None)
+    for raw, expected in (("0", 0), ("off", 0), ("serial", 0), ("3", 3)):
+        monkeypatch.setenv("O2_NUM_PROCS", raw)
+        assert parallel.num_procs() == expected
+    monkeypatch.delenv("O2_NUM_PROCS")
+    assert parallel.num_procs() == 0  # serial by default
+    monkeypatch.setenv("O2_NUM_PROCS", "auto")
+    assert parallel.num_procs() >= 1
+    monkeypatch.setenv("O2_NUM_PROCS", "bogus")
+    with pytest.raises(ValueError):
+        parallel.num_procs()
+
+
+def test_set_num_procs_and_context_manager():
+    previous = parallel.set_num_procs(4)
+    try:
+        assert parallel.num_procs() == 4
+        with parallel.use_num_procs(0):
+            assert parallel.num_procs() == 0
+        assert parallel.num_procs() == 4
+        with pytest.raises(ValueError):
+            parallel.set_num_procs(-1)
+    finally:
+        parallel.set_num_procs(previous)
+
+
+def test_process_map_preserves_item_order():
+    items = list(range(20))
+    assert parallel.process_map(_square, items, procs=4) == [
+        i * i for i in items
+    ]
+    # Serial fallbacks: zero workers, single item.
+    assert parallel.process_map(_square, items, procs=0) == [
+        i * i for i in items
+    ]
+    assert parallel.process_map(_square, [7], procs=4) == [49]
+
+
+def _square(x: int) -> int:  # top-level: must be picklable
+    return x * x
+
+
+def test_compare_models_fanned_equals_serial():
+    config = HarnessConfig(rounds=2, scale=0.35, epochs=3, patience=3)
+    kwargs = dict(baselines=("GC-MC",), settings=("adaption",))
+
+    with parallel.use_num_procs(0):
+        serial = compare_models("real", config, **kwargs)
+    with parallel.use_num_procs(2):
+        fanned = compare_models("real", config, **kwargs)
+
+    assert list(serial.rows) == list(fanned.rows)  # same rows, same order
+    for key in serial.rows:
+        for metric in serial.metrics:
+            assert (
+                serial.rows[key].series(metric).tolist()
+                == fanned.rows[key].series(metric).tolist()
+            ), (key, metric)
