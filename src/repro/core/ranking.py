@@ -12,6 +12,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..topk import top_k_indices
+
 
 @dataclass(frozen=True)
 class Recommendation:
@@ -45,7 +47,7 @@ def recommend_sites(
         [candidates, np.full(len(candidates), store_type, dtype=np.int64)], axis=1
     )
     scores = np.asarray(model.predict(pairs), dtype=np.float64)
-    order = np.argsort(-scores, kind="stable")[: min(k, len(candidates))]
+    order = top_k_indices(scores, min(k, len(candidates)))
     return [
         Recommendation(
             region=int(candidates[i]),

@@ -14,6 +14,7 @@ from .ranking import (
     hit_rate_at_k,
     ndcg_at_k,
     precision_at_k,
+    ranking_metrics_bulk,
     recall_at_k,
     rmse,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "ndcg_at_k",
     "dcg_at_k",
     "precision_at_k",
+    "ranking_metrics_bulk",
     "recall_at_k",
     "average_precision",
     "hit_rate_at_k",

@@ -15,7 +15,7 @@ from scipy import stats
 
 from ..data.dataset import SiteRecDataset
 from ..data.split import InteractionSplit
-from .ranking import ndcg_at_k, precision_at_k, rmse
+from .ranking import ranking_metrics_bulk, rmse
 
 METRIC_NAMES = (
     "NDCG@3",
@@ -111,12 +111,9 @@ def evaluate_model(
         if top_n_frac is not None:
             effective_top_n = max(3, int(round(top_n_frac * len(pairs))))
 
-        row: Dict[str, float] = {}
-        for k in ks:
-            row[f"NDCG@{k}"] = ndcg_at_k(scores, relevance, k)
-            row[f"Precision@{k}"] = precision_at_k(
-                scores, relevance, k, top_n=effective_top_n
-            )
+        # One partial sort per side covers every @k metric for this type
+        # (numerically identical to per-k ndcg_at_k/precision_at_k calls).
+        row = ranking_metrics_bulk(scores, relevance, ks, top_n=effective_top_n)
         row["RMSE"] = rmse(scores, relevance)
         per_type[a] = row
 

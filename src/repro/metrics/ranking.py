@@ -10,9 +10,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 import numpy as np
+
+from ..topk import top_k_indices, top_k_mask
 
 DEFAULT_TOP_N = 30
 
@@ -45,12 +47,14 @@ def ndcg_at_k(scores: np.ndarray, relevance: np.ndarray, k: int) -> float:
     _validate(scores, relevance)
     if k < 1:
         raise ValueError("k must be >= 1")
-    predicted_order = np.argsort(-scores, kind="stable")
-    ideal_order = np.argsort(-relevance, kind="stable")
-    ideal = dcg_at_k(relevance[ideal_order], k)
+    # Only the first k ranks enter the DCG, so a partial top-k selection
+    # (pinned identical to the stable full sort) is enough on both sides.
+    predicted_top = top_k_indices(scores, k)
+    ideal_top = top_k_indices(relevance, k)
+    ideal = dcg_at_k(relevance[ideal_top], k)
     if ideal == 0.0:
         return 1.0
-    return dcg_at_k(relevance[predicted_order], k) / ideal
+    return dcg_at_k(relevance[predicted_top], k) / ideal
 
 
 def precision_at_k(
@@ -67,9 +71,8 @@ def precision_at_k(
         raise ValueError("k and top_n must be >= 1")
     k = min(k, len(scores))
     top_n = min(top_n, len(scores))
-    predicted_top = set(np.argsort(-scores, kind="stable")[:k].tolist())
-    true_top = set(np.argsort(-relevance, kind="stable")[:top_n].tolist())
-    return len(predicted_top & true_top) / k
+    hits = np.count_nonzero(top_k_mask(scores, k) & top_k_mask(relevance, top_n))
+    return hits / k
 
 
 def recall_at_k(
@@ -87,9 +90,8 @@ def recall_at_k(
         raise ValueError("k and top_n must be >= 1")
     k = min(k, len(scores))
     top_n = min(top_n, len(scores))
-    predicted_top = set(np.argsort(-scores, kind="stable")[:k].tolist())
-    true_top = set(np.argsort(-relevance, kind="stable")[:top_n].tolist())
-    return len(predicted_top & true_top) / len(true_top)
+    hits = np.count_nonzero(top_k_mask(scores, k) & top_k_mask(relevance, top_n))
+    return hits / top_n
 
 
 def average_precision(
@@ -123,8 +125,54 @@ def hit_rate_at_k(scores: np.ndarray, relevance: np.ndarray, k: int) -> float:
     if k < 1:
         raise ValueError("k must be >= 1")
     best = int(np.argmax(relevance))
-    top_k = np.argsort(-scores, kind="stable")[: min(k, len(scores))]
-    return 1.0 if best in set(top_k.tolist()) else 0.0
+    return 1.0 if top_k_mask(scores, min(k, len(scores)))[best] else 0.0
+
+
+def ranking_metrics_bulk(
+    scores: np.ndarray,
+    relevance: np.ndarray,
+    ks: Sequence[int],
+    top_n: int = DEFAULT_TOP_N,
+) -> Dict[str, float]:
+    """All ``NDCG@k`` / ``Precision@k`` values for one candidate set.
+
+    Numerically identical to calling :func:`ndcg_at_k` and
+    :func:`precision_at_k` once per ``k`` (the per-``k`` DCG sums reuse
+    the exact reference expressions), but the candidate pool is ranked
+    once -- a single partial top-``max(k)`` sort on each side -- instead
+    of ``2 * len(ks) + 1`` full sorts.  ``evaluate_model`` calls this per
+    store type; ``tests/test_serve_scale.py`` pins the equality.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    relevance = np.asarray(relevance, dtype=np.float64)
+    _validate(scores, relevance)
+    ks = list(ks)
+    if not ks:
+        return {}
+    if min(ks) < 1 or top_n < 1:
+        raise ValueError("k and top_n must be >= 1")
+    n = len(scores)
+    max_k = min(max(ks), n)
+    top_n = min(top_n, n)
+
+    predicted_top = top_k_indices(scores, max_k)
+    ideal_top = top_k_indices(relevance, max_k)
+    rel_predicted = relevance[predicted_top]
+    rel_ideal = relevance[ideal_top]
+    true_mask = top_k_mask(relevance, top_n)
+    hits_by_rank = true_mask[predicted_top]
+
+    out: Dict[str, float] = {}
+    for k in ks:
+        k_eff = min(k, n)
+        ideal = dcg_at_k(rel_ideal, k_eff)
+        out[f"NDCG@{k}"] = (
+            1.0 if ideal == 0.0 else dcg_at_k(rel_predicted, k_eff) / ideal
+        )
+        out[f"Precision@{k}"] = (
+            int(np.count_nonzero(hits_by_rank[:k_eff])) / k_eff
+        )
+    return out
 
 
 def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:

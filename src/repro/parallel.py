@@ -171,6 +171,27 @@ class use_num_procs:
         set_num_procs(self._previous)
 
 
+def num_serve_procs(default: int = 1) -> int:
+    """Serving worker-process count from ``O2_SERVE_PROCS``.
+
+    ``auto`` maps to the CPU count (one pre-forked worker per core is the
+    sweet spot for the GIL-free serving plane); unset falls back to
+    ``default``.  Used by ``python -m repro.serve --procs`` and
+    :class:`repro.serve.workers.WorkerPool`.
+    """
+    raw = os.environ.get("O2_SERVE_PROCS", "").strip().lower()
+    if raw in ("", "0"):
+        return max(default, 1)
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        return max(int(raw), 1)
+    except ValueError:
+        raise ValueError(
+            f"O2_SERVE_PROCS must be an integer or 'auto', got {raw!r}"
+        ) from None
+
+
 def process_map(
     fn: Callable[[T], R], items: Sequence[T], procs: Optional[int] = None
 ) -> List[R]:

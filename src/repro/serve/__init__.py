@@ -1,5 +1,5 @@
 """Online serving for O2-SiteRec: precomputed embeddings, micro-batching,
-hot-swappable snapshots.
+hot-swappable snapshots, and a scale-out multi-process plane.
 
 The training-side model re-runs the full multi-graph propagation on every
 ``predict`` call; this package separates the expensive, query-independent
@@ -8,19 +8,29 @@ representation building from the cheap per-request scoring:
 * :class:`ModelSnapshot` -- runs propagation once and freezes per-period
   embeddings + head weights; scoring is a gather + small matmuls and is
   bit-for-bit identical to ``O2SiteRec.predict``.
+* :mod:`~repro.serve.arena` -- a zero-copy single-file snapshot container
+  opened via ``np.memmap``: O(ms) loads regardless of size, and N worker
+  processes share one physical copy through the OS page cache.
 * :class:`RecommendationService` -- top-k query API with candidate
   filters, an LRU+TTL score cache, a micro-batching request queue and
   atomic snapshot hot swap (``service.reload``).
+* :class:`~repro.serve.workers.WorkerPool` -- pre-forked multi-process
+  HTTP serving (``O2_SERVE_PROCS``): ``SO_REUSEPORT`` load balancing with
+  a fail-soft inherited-socket fallback, shared-memory fleet metrics, and
+  manifest-driven fleet-wide hot swap.
 * ``python -m repro.serve`` -- loads a checkpoint or snapshot and serves
-  a line-protocol loop or a small HTTP API.
+  a line-protocol loop or the HTTP API (``--procs N`` scales out);
+  ``python -m repro.serve convert`` rewrites ``.npz`` snapshots as arenas.
 """
 
+from .arena import convert_snapshot, is_arena_file, open_arena, save_arena
 from .batching import MicroBatcher
 from .cache import ScoreCache, candidate_digest
 from .metrics import LatencyHistogram, ServiceMetrics
 from .protocol import handle_line, make_http_handler, serve_http, serve_lines
 from .service import RecommendationService
 from .snapshot import ModelSnapshot
+from .workers import SharedServiceStats, WorkerPool, read_manifest, write_manifest
 
 __all__ = [
     "ModelSnapshot",
@@ -34,4 +44,12 @@ __all__ = [
     "serve_lines",
     "serve_http",
     "make_http_handler",
+    "save_arena",
+    "open_arena",
+    "is_arena_file",
+    "convert_snapshot",
+    "WorkerPool",
+    "SharedServiceStats",
+    "read_manifest",
+    "write_manifest",
 ]

@@ -4,15 +4,21 @@ Serve a dataset-free snapshot over stdin/stdout (line protocol):
 
     python -m repro.serve --snapshot snap.npz
 
-Serve over HTTP:
+Serve over HTTP, scaled out across pre-forked worker processes (also
+settable via ``O2_SERVE_PROCS``; snapshots in the zero-copy ``.arena``
+format are shared between workers through the OS page cache):
 
-    python -m repro.serve --snapshot snap.npz --http 8080
+    python -m repro.serve --snapshot snap.arena --http 8080 --procs 4
 
 Export a snapshot from a training checkpoint (rebuilds the dataset from a
 city preset; the preset/seed/split-seed must match training):
 
     python -m repro.serve --checkpoint ckpt.npz --preset tiny \
-        --export-snapshot snap.npz
+        --export-snapshot snap.arena --snapshot-format arena
+
+Convert an existing ``.npz`` snapshot to the mmap arena format:
+
+    python -m repro.serve convert snap.npz
 
 Run one command and exit (useful for scripting/smoke tests):
 
@@ -25,9 +31,12 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..parallel import num_serve_procs
+from .arena import convert_snapshot
 from .protocol import handle_line, serve_http, serve_lines
 from .service import RecommendationService
 from .snapshot import ModelSnapshot
+from .workers import WorkerPool
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,8 +68,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="freeze the checkpoint to this snapshot file and exit",
     )
+    parser.add_argument(
+        "--snapshot-format",
+        choices=["npz", "arena"],
+        default="npz",
+        help="--export-snapshot container: portable .npz or zero-copy "
+        "mmap .arena (O(ms) open, shared across serving workers)",
+    )
     parser.add_argument("--http", type=int, default=None, metavar="PORT")
     parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="pre-forked HTTP worker processes (default: O2_SERVE_PROCS "
+        "or 1); values > 1 require --http",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        help="deploy-manifest path for fleet-wide hot swap (multi-process "
+        "serving); bump it with repro.serve.workers.write_manifest",
+    )
     parser.add_argument("--once", default=None, metavar="COMMAND")
     parser.add_argument("--default-k", type=int, default=3)
     parser.add_argument("--max-batch-size", type=int, default=32)
@@ -89,12 +119,93 @@ def _load_snapshot(args: argparse.Namespace) -> ModelSnapshot:
     return ModelSnapshot.from_checkpoint(args.checkpoint, dataset, split)
 
 
+def build_convert_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve convert",
+        description="Convert a .npz snapshot to the zero-copy .arena format.",
+    )
+    parser.add_argument("source", type=Path, help="source snapshot (.npz)")
+    parser.add_argument(
+        "dest",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="destination .arena (default: source with .arena suffix)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip re-opening the arena to check the fingerprint",
+    )
+    return parser
+
+
+def _convert_main(argv) -> int:
+    args = build_convert_parser().parse_args(argv)
+    path = convert_snapshot(args.source, args.dest, verify=not args.no_verify)
+    print(f"wrote arena {path}")
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommand dispatch before the flag parser: `convert` has its own
+    # positional grammar, everything else keeps the original flags.
+    if argv and argv[0] == "convert":
+        return _convert_main(argv[1:])
     args = build_parser().parse_args(argv)
+    procs = args.procs if args.procs is not None else num_serve_procs()
+    if procs < 1:
+        build_parser().error("--procs must be >= 1")
+
+    if procs > 1 and args.export_snapshot is None:
+        # The worker pool loads the snapshot per process from a path; the
+        # line protocol is single-process by nature.
+        if args.http is None:
+            build_parser().error("--procs > 1 requires --http")
+        if args.snapshot is None:
+            build_parser().error(
+                "--procs > 1 requires --snapshot (export the checkpoint "
+                "with --export-snapshot first)"
+            )
+        pool = WorkerPool(
+            args.snapshot,
+            host=args.host,
+            port=args.http,
+            procs=procs,
+            manifest_path=args.manifest,
+            service_kwargs={
+                "default_k": args.default_k,
+                "max_batch_size": args.max_batch_size,
+                "batch_window_ms": args.batch_window_ms,
+                "num_workers": args.workers,
+                "cache_entries": args.cache_entries,
+                "cache_ttl_s": args.cache_ttl_s,
+            },
+        )
+        with pool:
+            print(
+                f"serving {args.snapshot} with {procs} workers "
+                f"on http://{args.host}:{pool.port}"
+            )
+            import signal
+            import time
+
+            # Treat SIGTERM like Ctrl-C so process managers get the same
+            # orderly drain (stop event -> worker join) as interactive use.
+            signal.signal(signal.SIGTERM, signal.default_int_handler)
+            try:
+                while True:  # workers carry the traffic; just sit here
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+        return 0
+
     snapshot = _load_snapshot(args)
 
     if args.export_snapshot is not None:
-        path = snapshot.save(args.export_snapshot)
+        path = snapshot.save(args.export_snapshot, format=args.snapshot_format)
         print(f"wrote snapshot {snapshot.snapshot_id} to {path}")
         return 0
 

@@ -14,10 +14,13 @@ import time
 from collections import deque
 from typing import Callable, Dict, Optional
 
-# 4 buckets per decade, 1e-6 s .. 10 s (then +inf).
-_BUCKET_BOUNDS = tuple(
+# 4 buckets per decade, 1e-6 s .. 10 s (then +inf).  Shared-memory
+# histograms in repro.serve.workers mirror exactly these bounds so
+# per-worker and fleet-aggregated percentiles are comparable.
+BUCKET_BOUNDS = tuple(
     10.0 ** (-6 + i / 4.0) for i in range(4 * 7 + 1)
 )
+_BUCKET_BOUNDS = BUCKET_BOUNDS
 
 
 class LatencyHistogram:
@@ -75,7 +78,13 @@ class ServiceMetrics:
         self,
         clock: Optional[Callable[[], float]] = None,
         qps_window_s: float = 60.0,
+        sink=None,
     ) -> None:
+        # ``sink`` (anything with increment/observe, e.g. the shared-
+        # memory SharedServiceStats of repro.serve.workers) receives a
+        # mirror of every recording, so a worker process can keep cheap
+        # local histograms while the fleet aggregates across processes.
+        self._sink = sink
         self._clock = clock or time.monotonic
         self._qps_window_s = qps_window_s
         self._started = self._clock()
@@ -87,10 +96,14 @@ class ServiceMetrics:
     # -- recording ------------------------------------------------------
     def observe(self, stage: str, seconds: float) -> None:
         self.histogram(stage).observe(seconds)
+        if self._sink is not None:
+            self._sink.observe(stage, seconds)
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+        if self._sink is not None:
+            self._sink.increment(name, amount)
 
     def mark_request(self) -> None:
         now = self._clock()

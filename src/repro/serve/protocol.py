@@ -136,6 +136,21 @@ def make_http_handler(service: RecommendationService):
     """A BaseHTTPRequestHandler subclass bound to ``service``."""
 
     class Handler(BaseHTTPRequestHandler):
+        # HTTP/1.1 enables keep-alive: BaseHTTPRequestHandler defaults to
+        # HTTP/1.0, where every query pays a full TCP setup/teardown (plus
+        # a handler thread spawn under ThreadingHTTPServer) -- that
+        # dominated small-query latency.  Every response already carries
+        # Content-Length, which persistent connections require.
+        protocol_version = "HTTP/1.1"
+        # Persistent connections expose a Nagle/delayed-ACK stall: headers
+        # and body leave in separate writes, and without TCP_NODELAY the
+        # second write can sit ~40ms waiting for the client's ACK.
+        # HTTP/1.0 masked this by closing (and so flushing) per response.
+        disable_nagle_algorithm = True
+        # Reap keep-alive connections whose client went quiet, so idle
+        # sockets do not pin handler threads forever.
+        timeout = 60.0
+
         def _send(self, status: int, payload: str) -> None:
             body = payload.encode("utf-8")
             self.send_response(status)
@@ -193,4 +208,8 @@ def serve_http(
     service: RecommendationService, host: str = "127.0.0.1", port: int = 8080
 ) -> ThreadingHTTPServer:
     """Create (but don't start) an HTTP server for ``service``."""
-    return ThreadingHTTPServer((host, port), make_http_handler(service))
+    server = ThreadingHTTPServer((host, port), make_http_handler(service))
+    # Keep-alive connections must not block shutdown (threads park in
+    # readline waiting for the client's next request).
+    server.daemon_threads = True
+    return server

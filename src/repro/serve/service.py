@@ -17,6 +17,7 @@ and answers top-k site queries:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Union
@@ -24,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..core.ranking import Recommendation
+from ..topk import top_k_indices
 from .batching import MicroBatcher
 from .cache import ScoreCache, candidate_digest
 from .metrics import ServiceMetrics
@@ -45,6 +47,7 @@ class RecommendationService:
         cache_entries: int = 512,
         cache_ttl_s: float = 300.0,
         query_timeout_s: float = 30.0,
+        metrics: Optional[ServiceMetrics] = None,
     ) -> None:
         if default_k < 1:
             raise ValueError("default_k must be >= 1")
@@ -53,7 +56,9 @@ class RecommendationService:
         self.per_type_k = dict(per_type_k or {})
         self.query_timeout_s = query_timeout_s
         self._reload_lock = threading.Lock()
-        self.metrics = ServiceMetrics()
+        # Worker processes pass metrics wired to shared-memory counters so
+        # the parent can aggregate fleet-wide stats (repro.serve.workers).
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.cache = ScoreCache(max_entries=cache_entries, ttl_s=cache_ttl_s)
         self._batcher = MicroBatcher(
             self._score_batch,
@@ -175,7 +180,9 @@ class RecommendationService:
             snapshot, candidate_regions, exclude_regions
         )
         scores = self.scores(store_type_idx, candidates)
-        order = np.argsort(-scores, kind="stable")
+        # Partial sort: only the k winners are ordered (identical to the
+        # stable full argsort, duplicate-score tie-break included).
+        order = top_k_indices(scores, min(k, len(candidates)))
         results: List[Recommendation] = []
         for i in order:
             score = float(scores[i])
@@ -232,6 +239,7 @@ class RecommendationService:
     def stats(self) -> Dict[str, object]:
         """Point-in-time service health: latency, QPS, cache, snapshot."""
         report = self.metrics.snapshot()
+        report["pid"] = os.getpid()
         report["cache"] = self.cache.stats()
         report["snapshot"] = {
             "id": self._snapshot.snapshot_id,

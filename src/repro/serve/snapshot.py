@@ -42,6 +42,23 @@ def _npz_path(path: PathLike) -> Path:
     return path
 
 
+def _resolve_snapshot_path(path: PathLike) -> Path:
+    """An existing snapshot file for ``path``, trying known suffixes.
+
+    ``save`` appends ``.npz`` / ``.arena`` to suffixless paths, so
+    ``load`` mirrors that: the literal path wins, then the suffixed
+    variants.  Missing files resolve to the ``.npz`` spelling so the
+    caller sees the same ``FileNotFoundError`` as before.
+    """
+    path = Path(path)
+    if path.exists():
+        return path
+    for suffixed in (_npz_path(path), path.with_name(path.name + ".arena")):
+        if suffixed.exists():
+            return suffixed
+    return _npz_path(path)
+
+
 class ModelSnapshot:
     """Query-independent state of a trained model, frozen for serving.
 
@@ -67,6 +84,7 @@ class ModelSnapshot:
         time_query_weight: Optional[np.ndarray],  # (D, D) or None
         predictor_weights: Sequence[Tuple[np.ndarray, np.ndarray]],
         meta: Optional[dict] = None,
+        snapshot_id: Optional[str] = None,
     ) -> None:
         self.h = np.ascontiguousarray(h, dtype=np.float64)
         self.q = np.ascontiguousarray(q, dtype=np.float64)
@@ -95,7 +113,9 @@ class ModelSnapshot:
         self._store_index = {
             int(r): i for i, r in enumerate(self.store_regions)
         }
-        self.snapshot_id = self._fingerprint()
+        # A precomputed id (from an arena header) skips hashing every
+        # parameter byte -- the point of the O(ms) mmap open path.
+        self.snapshot_id = snapshot_id or self._fingerprint()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -292,10 +312,9 @@ class ModelSnapshot:
     # ------------------------------------------------------------------
     # Persistence (dataset-free, unlike model checkpoints)
     # ------------------------------------------------------------------
-    def save(self, path: PathLike) -> Path:
-        """Write the frozen snapshot to ``path`` (.npz); returns the path."""
-        path = _npz_path(path)
-        meta = {
+    def _meta_payload(self) -> dict:
+        """The JSON-serialisable metadata both file formats store."""
+        return {
             "format_version": _SNAPSHOT_FORMAT_VERSION,
             "type_names": self.type_names,
             "target_scale": self.target_scale,
@@ -306,6 +325,9 @@ class ModelSnapshot:
             "num_predictor_layers": len(self.predictor_weights),
             "extra": self.meta,
         }
+
+    def _array_payload(self) -> Dict[str, np.ndarray]:
+        """Named parameter arrays, in a fixed serialisation order."""
         arrays = {
             "h": self.h,
             "q": self.q,
@@ -318,54 +340,87 @@ class ModelSnapshot:
         for i, (w, b) in enumerate(self.predictor_weights):
             arrays[f"predictor_w_{i}"] = w
             arrays[f"predictor_b_{i}"] = b
+        return arrays
+
+    @classmethod
+    def _from_payload(
+        cls, meta: dict, arrays, snapshot_id: Optional[str] = None
+    ) -> "ModelSnapshot":
+        """Rebuild from a (meta, name->array mapping) pair."""
+        version = int(meta["format_version"])
+        if version != _SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                f"snapshot format {version} not supported "
+                f"(expected {_SNAPSHOT_FORMAT_VERSION})"
+            )
+        time_attention = bool(meta["time_attention"])
+        return cls(
+            h=arrays["h"],
+            q=arrays["q"],
+            pair_commercial=arrays["pair_commercial"],
+            store_regions=arrays["store_regions"],
+            type_names=meta["type_names"],
+            target_scale=meta["target_scale"],
+            product_channel=meta["product_channel"],
+            commercial_in_predictor=meta["commercial_in_predictor"],
+            time_attention=time_attention,
+            time_heads=meta["time_heads"],
+            time_key_weight=(
+                arrays["time_key_weight"] if time_attention else None
+            ),
+            time_query_weight=(
+                arrays["time_query_weight"] if time_attention else None
+            ),
+            predictor_weights=[
+                (arrays[f"predictor_w_{i}"], arrays[f"predictor_b_{i}"])
+                for i in range(int(meta["num_predictor_layers"]))
+            ],
+            meta=meta.get("extra"),
+            snapshot_id=snapshot_id,
+        )
+
+    def save(self, path: PathLike, format: str = "npz") -> Path:
+        """Write the snapshot to ``path``; returns the (suffixed) path.
+
+        ``format="npz"`` is the portable archive; ``format="arena"`` is
+        the single-file mmap container (:mod:`repro.serve.arena`) whose
+        open cost is O(milliseconds) regardless of size.
+        """
+        if format == "arena":
+            from .arena import save_arena
+
+            return save_arena(self, path)
+        if format != "npz":
+            raise ValueError(f"unknown snapshot format {format!r}")
+        path = _npz_path(path)
         np.savez(
             path,
-            **arrays,
+            **self._array_payload(),
             **{
                 _MARKER_KEY: np.array(_SNAPSHOT_FORMAT_VERSION),
-                _META_KEY: np.array(json.dumps(meta)),
+                _META_KEY: np.array(json.dumps(self._meta_payload())),
             },
         )
         return path
 
     @classmethod
     def load(cls, path: PathLike) -> "ModelSnapshot":
-        """Read a snapshot written by :meth:`save`."""
-        path = _npz_path(path)
+        """Read a snapshot written by :meth:`save` (either format).
+
+        The format is sniffed from the file's magic bytes, so a serving
+        host can be pointed at an ``.npz`` or an ``.arena`` file (with or
+        without the suffix) interchangeably.
+        """
+        from .arena import is_arena_file, open_arena
+
+        path = _resolve_snapshot_path(path)
+        if is_arena_file(path):
+            return open_arena(path)
         with np.load(path, allow_pickle=False) as archive:
             if _MARKER_KEY not in archive:
                 raise ValueError(f"{path} is not an O2-SiteRec serving snapshot")
-            version = int(archive[_MARKER_KEY])
-            if version != _SNAPSHOT_FORMAT_VERSION:
-                raise ValueError(
-                    f"snapshot format {version} not supported "
-                    f"(expected {_SNAPSHOT_FORMAT_VERSION})"
-                )
             meta = json.loads(str(archive[_META_KEY]))
-            time_attention = bool(meta["time_attention"])
-            return cls(
-                h=archive["h"],
-                q=archive["q"],
-                pair_commercial=archive["pair_commercial"],
-                store_regions=archive["store_regions"],
-                type_names=meta["type_names"],
-                target_scale=meta["target_scale"],
-                product_channel=meta["product_channel"],
-                commercial_in_predictor=meta["commercial_in_predictor"],
-                time_attention=time_attention,
-                time_heads=meta["time_heads"],
-                time_key_weight=(
-                    archive["time_key_weight"] if time_attention else None
-                ),
-                time_query_weight=(
-                    archive["time_query_weight"] if time_attention else None
-                ),
-                predictor_weights=[
-                    (archive[f"predictor_w_{i}"], archive[f"predictor_b_{i}"])
-                    for i in range(int(meta["num_predictor_layers"]))
-                ],
-                meta=meta.get("extra"),
-            )
+            return cls._from_payload(meta, archive)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,79 @@
+"""Partial-sort top-k selection, pinned to stable full-sort ordering.
+
+Every ranking surface in the repo -- ``recommend_sites``, the serving
+``query`` path and the ``@k`` metric kernels -- used to rank candidates
+with a full ``np.argsort(-scores, kind="stable")`` and then keep the first
+``k`` entries.  For city-wide candidate pools that is O(n log n) work (and
+a full permutation array) to extract a handful of winners.
+
+:func:`top_k_indices` does the same selection in O(n + k log k): an
+``np.argpartition`` pass splits off the top slice, and only that slice is
+sorted.  The result is **identical** to the full stable sort, including
+the tie-break order among duplicate scores: the reference puts equal
+scores in ascending-index order, so we select strictly-better candidates
+first and fill the remainder with the lowest-indexed ties (``flatnonzero``
+returns indices in ascending order), then stable-sort the k-sized slice.
+
+Non-finite scores fall back to the full sort -- ``argpartition``'s NaN
+placement differs from ``argsort``'s and the equality pin matters more
+than speed on degenerate inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, in descending-score order.
+
+    Bit-for-bit identical to ``np.argsort(-scores, kind="stable")[:k]``
+    (ties broken by ascending index), but via ``np.argpartition`` so only
+    the winning slice is ever sorted.  ``k >= len(scores)`` degrades to
+    the full stable sort.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    neg = -np.asarray(scores, dtype=np.float64)
+    n = neg.shape[0]
+    if k >= n or not np.isfinite(neg).all():
+        return np.argsort(neg, kind="stable")[:k]
+    # Value of the k-th best score: everything strictly better is in, the
+    # remaining seats go to the lowest-indexed candidates at that value.
+    kth = np.partition(neg, k - 1)[k - 1]
+    better = np.flatnonzero(neg < kth)
+    seats = k - better.shape[0]
+    if seats > 0:
+        ties = np.flatnonzero(neg == kth)[:seats]
+        chosen = np.concatenate([better, ties])
+    else:  # pragma: no cover - neg < kth can hold for at most k-1 entries
+        chosen = better
+    # ``chosen`` is ascending-index within each score class, so a stable
+    # sort on the slice reproduces the reference tie-break exactly.
+    return chosen[np.argsort(neg[chosen], kind="stable")]
+
+
+def top_k_mask(scores: np.ndarray, k: int) -> np.ndarray:
+    """Boolean membership mask of the stable top-k (order-free queries).
+
+    For set-intersection metrics (Precision@k / Recall@k) the rank order
+    inside the top-k is irrelevant; the mask skips the final slice sort.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    scores = np.asarray(scores)
+    mask = np.zeros(scores.shape[0], dtype=bool)
+    if k >= scores.shape[0]:
+        mask[:] = True
+        return mask
+    neg = -np.asarray(scores, dtype=np.float64)
+    if not np.isfinite(neg).all():
+        mask[np.argsort(neg, kind="stable")[:k]] = True
+        return mask
+    kth = np.partition(neg, k - 1)[k - 1]
+    better = neg < kth
+    seats = k - int(better.sum())
+    mask[better] = True
+    if seats > 0:
+        mask[np.flatnonzero(neg == kth)[:seats]] = True
+    return mask
