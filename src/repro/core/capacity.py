@@ -152,6 +152,10 @@ class CourierCapacityModel(Module):
             scores = (concat([b_dst, b_src], axis=1) @ self.attn_vector).leaky_relu(
                 0.2
             )
+            # concat copied b_dst and its backward only splits the incoming
+            # gradient, so the gathered rows are dead weight on the tape now
+            # (b_src stays: the weighted sum below re-reads it in backward).
+            b_dst.release_data()
             alpha = segment_softmax(scores, dst, self.num_regions)
             weighted = b_src * alpha.expand_dims(1)
             b_mob = segment_sum(weighted, dst, self.num_regions).relu() + b0
@@ -165,9 +169,15 @@ class CourierCapacityModel(Module):
         self, b: Tensor, src_regions: np.ndarray, dst_regions: np.ndarray
     ) -> Tensor:
         """Capacity edge embedding ``em_ij = [b_j, b_i]`` for region pairs."""
-        return concat(
-            [gather_rows(b, dst_regions), gather_rows(b, src_regions)], axis=1
-        )
+        g_dst = gather_rows(b, dst_regions)
+        g_src = gather_rows(b, src_regions)
+        em = concat([g_dst, g_src], axis=1)
+        # The gathered copies were consumed by the concat above; concat's
+        # backward splits the gradient and gather's scatters it, so neither
+        # re-reads these (E, d1) values -- drop them mid-forward.
+        g_dst.release_data()
+        g_src.release_data()
+        return em
 
     @property
     def edge_embedding_dim(self) -> int:

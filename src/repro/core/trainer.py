@@ -168,7 +168,10 @@ class Trainer:
         for batch_pairs, batch_targets in batch_data:
             self.optimizer.zero_grad()
             loss, _, _ = self.model.loss(batch_pairs, batch_targets)
-            loss.backward()
+            # Retire the tape as it is walked: intermediates (and their
+            # pooled buffers) free mid-backward instead of at loss rebind,
+            # so peak RSS stops scaling with graph depth.
+            loss.backward(free_graph=True)
             clip_grad_norm(self.model.parameters(), cfg.grad_clip)
             self.optimizer.step()
             total += float(loss.data) * len(batch_pairs)

@@ -25,10 +25,13 @@ import numpy as np
 
 from ..tensor import (
     Tensor,
+    buffer_pool_enabled,
     concat,
     edge_message,
+    edge_message_value,
     fast_kernels_enabled,
     gather_rows,
+    pool as _pool,
     segment_attention,
     segment_mean,
     segment_softmax,
@@ -186,13 +189,91 @@ class MultiHeadSegmentAttention(Module):
                     off += d
             else:
                 eproj = edge_attr @ w[source_dim:]
-            fused = edge_message(pre, eproj, self.fuse.bias, src_index, extra=extras)
+            ckpt = buffer_pool_enabled()
+            fused = edge_message(
+                pre, eproj, self.fuse.bias, src_index, extra=extras, checkpoint=ckpt
+            )
+            # The projections above were consumed by edge_message's gather;
+            # no backward rule reads their values (matmul grads read their
+            # parents, edge_message's scatter reads only gradients), so drop
+            # them mid-forward -- across periods and relations they are a
+            # large slice of the tape's resident set.
+            pre.release_data()
+            if eproj is not None:
+                eproj.release_data()
+            for t, _ in extras:
+                t.release_data()
+            recompute = None
+            if ckpt:
+                # Checkpoint the (E, F) fused messages too: everything the
+                # replay reads -- the raw source/attribute tensors and the
+                # fusion weight -- outlives this node on the tape, so the
+                # backward can rebuild ``fused.data`` bit-for-bit (same
+                # expressions in the same order as the prelude above).
+                idx64 = np.asarray(src_index, dtype=np.int64)
+
+                def recompute(
+                    source=source,
+                    w=w,
+                    bias=self.fuse.bias,
+                    ea=edge_attr,
+                    idx=idx64,
+                    sd=source_dim,
+                    edge_dim=self.edge_dim,
+                ):
+                    wd = w.data
+                    fuse_dim = wd.shape[1]
+                    buf = _pool.out_buffer
+                    pre_r = np.matmul(
+                        source.data,
+                        wd[:sd],
+                        out=buf((source.shape[0], fuse_dim), tag="edge-msg-ckpt"),
+                    )
+                    eproj_r = None
+                    extras_r = []
+                    off = sd
+                    if not edge_dim:
+                        pass
+                    elif isinstance(ea, FactoredEdgeAttr):
+                        if ea.static is not None:
+                            s = ea.static.shape[1]
+                            eproj_r = np.matmul(
+                                ea.static.data,
+                                wd[off : off + s],
+                                out=buf(
+                                    (ea.static.shape[0], fuse_dim),
+                                    tag="edge-msg-ckpt",
+                                ),
+                            )
+                            off += s
+                        for values, index in ea.blocks:
+                            d = values.shape[1]
+                            extras_r.append((
+                                np.matmul(
+                                    values.data,
+                                    wd[off : off + d],
+                                    out=buf(
+                                        (values.shape[0], fuse_dim),
+                                        tag="edge-msg-ckpt",
+                                    ),
+                                ),
+                                np.asarray(index, dtype=np.int64),
+                            ))
+                            off += d
+                    else:
+                        eproj_r = np.matmul(
+                            ea.data,
+                            wd[sd:],
+                            out=buf((ea.shape[0], fuse_dim), tag="edge-msg-ckpt"),
+                        )
+                    return edge_message_value(pre_r, eproj_r, bias.data, idx, extras_r)
+
             queries = self.query_proj(target)
             q_we = (
                 queries.reshape(num_targets * self.num_heads, self.head_dim)
                 @ self.edge_type_weight.T
             ).reshape(num_targets, self.num_heads, self.head_dim)
-            return segment_attention(
+            att = segment_attention(
                 fused,
                 self.key_proj.weight,
                 q_we,
@@ -200,7 +281,14 @@ class MultiHeadSegmentAttention(Module):
                 num_targets,
                 self.scale,
                 negative_slope=0.2,
+                recompute_input=recompute,
             )
+            if recompute is not None:
+                # edge_message pinned only the relu sign mask and
+                # segment_attention replays the value on demand, so the
+                # (E, F) fused block recycles mid-forward as well.
+                fused.release_data()
+            return att
 
         src_emb = gather_rows(source, src_index)
         if self.edge_dim:

@@ -1,12 +1,23 @@
-"""Adam optimizer (the paper trains with Adam, lr 1e-4)."""
+"""Adam optimizer (the paper trains with Adam, lr 1e-4).
+
+With the buffer pool enabled (``O2_BUFFER_POOL``, the default) the update
+runs fully in place through two pre-allocated scratch buffers per
+parameter: no ``m_hat``/``v_hat``/``grad**2`` temporaries and no fresh
+``p.data`` per step.  The scratch path applies the *identical* sequence of
+floating-point operations as the reference expression (scalar multiplies
+commute bitwise in IEEE 754, ``grad**2 == grad*grad``), so fit curves are
+bit-for-bit equal between the two paths -- pinned by
+``tests/test_memory_plane.py``.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..nn.module import Parameter
+from ..tensor import pool as _pool
 from .optimizer import Optimizer
 
 
@@ -27,12 +38,16 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         b1t = 1.0 - self.beta1**self._t
         b2t = 1.0 - self.beta2**self._t
+        if _pool.buffer_pool_enabled():
+            self._step_inplace(b1t, b2t)
+            return
         for p, m, v in zip(self.parameters, self._m, self._v):
             if p.grad is None:
                 continue
@@ -46,3 +61,35 @@ class Adam(Optimizer):
             m_hat = m / b1t
             v_hat = v / b2t
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _step_inplace(self, b1t: float, b2t: float) -> None:
+        if self._scratch is None:
+            self._scratch = [
+                (np.empty_like(p.data), np.empty_like(p.data))
+                for p in self.parameters
+            ]
+        for p, m, v, (s1, s2) in zip(
+            self.parameters, self._m, self._v, self._scratch
+        ):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                np.multiply(p.data, self.weight_decay, out=s1)
+                np.add(grad, s1, out=s1)
+                grad = s1
+            m *= self.beta1
+            np.multiply(grad, 1.0 - self.beta1, out=s2)
+            m += s2
+            v *= self.beta2
+            np.multiply(grad, grad, out=s2)
+            np.multiply(s2, 1.0 - self.beta2, out=s2)
+            v += s2
+            # grad (possibly aliasing s1) is dead from here on.
+            np.divide(m, b1t, out=s1)  # m_hat
+            np.divide(v, b2t, out=s2)  # v_hat
+            np.sqrt(s2, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.multiply(s1, self.lr, out=s1)
+            np.divide(s1, s2, out=s1)
+            np.subtract(p.data, s1, out=p.data)

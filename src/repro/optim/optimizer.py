@@ -7,6 +7,7 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 from ..nn.module import Parameter
+from ..tensor import pool as _pool
 
 
 class Optimizer:
@@ -34,9 +35,22 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     Returns the pre-clipping norm.
     """
     params = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+
+    def _sq_sum(g: np.ndarray) -> float:
+        buf = _pool.out_buffer(g.shape, g.dtype, tag="clip-sq")
+        if buf is None:
+            return float((g**2).sum())
+        return float(np.multiply(g, g, out=buf).sum())
+
+    total = float(np.sqrt(sum(_sq_sum(p.grad) for p in params)))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
-            p.grad = p.grad * scale
+            # Leaf grads are exclusively owned by the parameter (the
+            # backward driver copies the first contribution), so the
+            # pooled path may scale them in place.
+            if _pool.buffer_pool_enabled():
+                np.multiply(p.grad, scale, out=p.grad)
+            else:
+                p.grad = p.grad * scale
     return total

@@ -1,12 +1,19 @@
-"""Stochastic gradient descent with optional momentum."""
+"""Stochastic gradient descent with optional momentum.
+
+Like :class:`~repro.optim.adam.Adam`, the update runs fully in place (one
+scratch buffer per parameter, identical floating-point operation order)
+when the buffer pool is enabled, and falls back to the reference
+expressions when ``O2_BUFFER_POOL=0``.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, List, Optional
 
 import numpy as np
 
 from ..nn.module import Parameter
+from ..tensor import pool as _pool
 from .optimizer import Optimizer
 
 
@@ -24,8 +31,12 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: Optional[List[np.ndarray]] = None
 
     def step(self) -> None:
+        if _pool.buffer_pool_enabled():
+            self._step_inplace()
+            return
         for p, v in zip(self.parameters, self._velocity):
             if p.grad is None:
                 continue
@@ -37,3 +48,21 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data = p.data - self.lr * grad
+
+    def _step_inplace(self) -> None:
+        if self._scratch is None:
+            self._scratch = [np.empty_like(p.data) for p in self.parameters]
+        for p, v, s in zip(self.parameters, self._velocity, self._scratch):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                np.multiply(p.data, self.weight_decay, out=s)
+                np.add(grad, s, out=s)
+                grad = s
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            np.multiply(grad, self.lr, out=s)
+            np.subtract(p.data, s, out=p.data)

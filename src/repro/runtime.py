@@ -8,11 +8,17 @@ default thresholds every one of them costs an mmap/munmap round trip plus
 kernel page-zeroing on first touch -- profiled at 15-25% of a training step
 on the batched fast path.
 
-:func:`tune_allocator` raises ``M_MMAP_THRESHOLD`` and ``M_TRIM_THRESHOLD``
-so freed arena memory is retained and recycled in user space.  The trade:
-the process high-water mark is kept resident instead of being returned to
-the OS eagerly.  That is the right call for a training run and is applied
-by :class:`repro.core.trainer.Trainer` and the benchmarks; long-lived,
+:func:`tune_allocator` picks its profile from the memory plane.  With the
+buffer pool disabled it raises ``M_MMAP_THRESHOLD`` and
+``M_TRIM_THRESHOLD`` so freed arena memory is retained and recycled in
+user space -- the pre-pool behaviour, trading resident high-water mark for
+speed.  With the pool enabled (``O2_BUFFER_POOL``, the default) the big
+training temporaries are recycled by :mod:`repro.tensor.pool` itself, so
+arena hoarding would only double-cache them: the lean profile keeps
+glibc's documented 128 KiB mmap threshold (pinned, so the dynamic
+threshold cannot drift it upward) and a small trim threshold, which lets
+pool evictions and bypassed buffers return to the OS promptly.  Applied by
+:class:`repro.core.trainer.Trainer` and the benchmarks; long-lived,
 memory-sensitive processes (e.g. the serving layer) simply do not call it.
 
 The tuning is best-effort: on non-glibc platforms (musl, macOS, Windows)
@@ -40,9 +46,14 @@ def allocator_tuned() -> bool:
 
 
 def tune_allocator(
-    mmap_threshold: int = 1 << 29, trim_threshold: int = 1 << 29
+    mmap_threshold: int | None = None, trim_threshold: int | None = None
 ) -> bool:
-    """Keep large freed buffers in the malloc arena instead of unmapping.
+    """Tune glibc malloc for training (profile depends on the buffer pool).
+
+    Pool disabled: keep large freed buffers in the malloc arena instead of
+    unmapping (hoard profile).  Pool enabled: pin the documented default
+    thresholds so non-pooled frees return to the OS and the pool stays the
+    only cache (lean profile).  Explicit arguments override the profile.
 
     Idempotent and fail-soft: returns ``True`` if the thresholds are (or
     already were) applied, ``False`` when disabled via ``O2_MALLOC_TUNE=0``
@@ -53,6 +64,17 @@ def tune_allocator(
         return True
     if os.environ.get("O2_MALLOC_TUNE", "1").strip().lower() in ("0", "false", "off"):
         return False
+    if mmap_threshold is None or trim_threshold is None:
+        from .tensor import pool as _pool
+
+        if _pool.buffer_pool_enabled():
+            lean_mmap, lean_trim = 131072, 1 << 20
+        else:
+            lean_mmap, lean_trim = 1 << 29, 1 << 29
+        if mmap_threshold is None:
+            mmap_threshold = lean_mmap
+        if trim_threshold is None:
+            trim_threshold = lean_trim
     try:
         libc = ctypes.CDLL(None, use_errno=True)
         mallopt = libc.mallopt

@@ -4,11 +4,19 @@ The paper's reference implementation runs on PyTorch; this package is the
 self-contained replacement used by every model in the repository.
 """
 
-from . import cnative
+from . import cnative, memprof, pool
 from .grad_check import check_gradients, numerical_gradient
+from .pool import (
+    BufferPool,
+    buffer_pool_enabled,
+    global_pool,
+    set_buffer_pool,
+    use_buffer_pool,
+)
 from .ops import (
     concat,
     edge_message,
+    edge_message_value,
     gather_rows,
     gather_rows_reference,
     ones,
@@ -45,6 +53,7 @@ __all__ = [
     "gather_rows",
     "gather_rows_reference",
     "edge_message",
+    "edge_message_value",
     "segment_sum",
     "segment_sum_reference",
     "segment_mean",
@@ -67,4 +76,11 @@ __all__ = [
     "set_fast_kernels",
     "cnative",
     "use_fast_kernels",
+    "pool",
+    "memprof",
+    "BufferPool",
+    "global_pool",
+    "buffer_pool_enabled",
+    "set_buffer_pool",
+    "use_buffer_pool",
 ]

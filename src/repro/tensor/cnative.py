@@ -41,6 +41,8 @@ from typing import Optional
 
 import numpy as np
 
+from . import pool as _pool
+
 __all__ = ["available", "lib", "set_c_kernels"]
 
 _SOURCE = r"""
@@ -331,7 +333,7 @@ def edge_fuse_fwd(
     a = [(None, None), (None, None)]
     for k, (vals, idx) in enumerate(extras):
         a[k] = (vals, idx)
-    out = np.empty((E, F), dtype=np.float64)
+    out = _pool.empty((E, F), tag="c-edge-fwd")
     lib_.edge_fuse_fwd(
         _ptr_d(pre),
         _ptr_i(src),
@@ -358,13 +360,13 @@ def edge_fuse_bwd(
     lib_ = lib()
     assert lib_ is not None
     E, F = grad.shape
-    gmask = np.empty((E, F), dtype=np.float64)
-    gpre = np.zeros((num_sources, F), dtype=np.float64)
+    gmask = _pool.empty((E, F), tag="c-edge-bwd")
+    gpre = _pool.zeros((num_sources, F), tag="c-edge-gpre")
     gbias = np.zeros(F, dtype=np.float64)
     gex = [None, None]
     idxs = [None, None]
     for k, (n_rows, idx) in enumerate(extras):
-        gex[k] = np.zeros((n_rows, F), dtype=np.float64)
+        gex[k] = _pool.zeros((n_rows, F), tag="c-edge-gex")
         idxs[k] = idx
     lib_.edge_fuse_bwd(
         _ptr_d(grad),
@@ -394,9 +396,9 @@ def seg_att_fwd(
     assert lib_ is not None
     E, H, hd = keys.shape
     N = q.shape[0]
-    weights = np.empty((E, H), dtype=np.float64)
-    leaky = np.empty((E, H), dtype=np.float64)
-    agg = np.zeros((N, H * hd), dtype=np.float64)
+    weights = _pool.empty((E, H), tag="c-att-w")
+    leaky = _pool.empty((E, H), tag="c-att-leaky")
+    agg = _pool.zeros((N, H * hd), tag="c-att-agg")
     lib_.seg_att_fwd(
         _ptr_d(keys), _ptr_d(q), _ptr_i(plan.perm), _ptr_i(plan.starts),
         _ptr_i(plan.occupied), plan.starts.shape[0], E, H, hd,
@@ -417,9 +419,9 @@ def seg_att_bwd(
     lib_ = lib()
     assert lib_ is not None
     E, H, hd = keys.shape
-    gkeys = np.empty((E, H, hd), dtype=np.float64)
-    scratch = np.empty((E, H), dtype=np.float64)
-    gq = np.zeros(q.shape, dtype=np.float64)
+    gkeys = _pool.empty((E, H, hd), tag="c-att-gkeys")
+    scratch = _pool.empty((E, H), tag="c-att-scratch")
+    gq = _pool.zeros(q.shape, tag="c-att-gq")
     lib_.seg_att_bwd(
         _ptr_d(keys), _ptr_d(q), _ptr_d(weights), _ptr_d(leaky), _ptr_d(gout),
         _ptr_i(plan.perm), _ptr_i(plan.starts), _ptr_i(plan.occupied),

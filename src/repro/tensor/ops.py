@@ -30,6 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from . import cnative as _cnative
+from . import pool as _pool
 from . import segment as _segment
 from .segment import get_plan
 from .tensor import ArrayLike, Tensor, as_tensor, unbroadcast
@@ -38,7 +39,14 @@ from .tensor import ArrayLike, Tensor, as_tensor, unbroadcast
 def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` (differentiable)."""
     ts = [as_tensor(t) for t in tensors]
-    data = np.concatenate([t.data for t in ts], axis=axis)
+    datas = [t.data for t in ts]
+    out = None
+    if datas and all(d.dtype == datas[0].dtype for d in datas[1:]):
+        shape = list(datas[0].shape)
+        ax = axis if axis >= 0 else len(shape) + axis
+        shape[ax] = sum(d.shape[ax] for d in datas)
+        out = _pool.out_buffer(shape, datas[0].dtype, tag="concat")
+    data = np.concatenate(datas, axis=axis, out=out)
     sizes = [t.data.shape[axis] for t in ts]
     splits = np.cumsum(sizes)[:-1]
 
@@ -76,11 +84,13 @@ def gather_rows(tensor: ArrayLike, indices: np.ndarray) -> Tensor:
     def backward(grad: np.ndarray):
         if _segment.fast_kernels_enabled():
             return ((t, get_plan(idx, shape[0]).sum(grad)),)
-        full = np.zeros(shape, dtype=np.float64)
+        full = _pool.zeros(shape, tag="gather-bwd")
         np.add.at(full, idx, grad)
         return ((t, full),)
 
-    return Tensor(t.data[idx], parents=(t,), backward=backward)
+    return Tensor(
+        _pool.take_rows(t.data, idx, tag="gather"), parents=(t,), backward=backward
+    )
 
 
 def gather_rows_reference(tensor: ArrayLike, indices: np.ndarray) -> Tensor:
@@ -113,11 +123,11 @@ def segment_sum(data: ArrayLike, segment_ids: np.ndarray, num_segments: int) -> 
     if _segment.fast_kernels_enabled():
         result = get_plan(ids, num_segments).sum(t.data)
     else:
-        result = np.zeros((num_segments,) + t.shape[1:], dtype=np.float64)
+        result = _pool.zeros((num_segments,) + t.shape[1:], tag="segsum")
         np.add.at(result, ids, t.data)
 
     def backward(grad: np.ndarray):
-        return ((t, grad[ids]),)
+        return ((t, _pool.take_rows(grad, ids, tag="segsum-bwd")),)
 
     return Tensor(result, parents=(t,), backward=backward)
 
@@ -178,20 +188,36 @@ def segment_softmax(
         squeeze = True
 
     # One sort shared by the max, the sum and the backward reduction.
+    # ``pooled`` gates the in-place reuse of fresh pool buffers; with the
+    # pool off every ``out=None`` collapses to the reference allocations.
+    pooled = _pool.buffer_pool_enabled()
     plan = get_plan(ids, num_segments)
     sorted_scores = plan.sort(data)
     seg_max = plan.max_sorted(sorted_scores)  # (runs, H)
-    exp = np.exp(sorted_scores - plan.spread_runs(seg_max))
+    spread_max = plan.spread_runs(seg_max)
+    # spread_max is a fresh per-call buffer (never an aliased input), so the
+    # shift and exp may overwrite it in place.
+    shifted = np.subtract(sorted_scores, spread_max, out=spread_max if pooled else None)
+    exp = np.exp(shifted, out=shifted if pooled else None)
     seg_sum = plan.sum_sorted(exp)
-    weights_sorted = exp / plan.spread_runs(seg_sum)
+    spread_sum = plan.spread_runs(seg_sum)
+    weights_sorted = np.divide(exp, spread_sum, out=exp if pooled else None)
     weights = plan.unsort(weights_sorted)
     value = weights[:, 0] if squeeze else weights
 
     def backward(grad: np.ndarray):
         g = grad[:, None] if squeeze else grad
         # d softmax: w * (g - sum_j w_j g_j) within each segment.
-        weighted = plan.sum_sorted(weights_sorted * plan.sort(g))
-        local = weights * (g - plan.unsort(plan.spread_runs(weighted)))
+        sorted_g = plan.sort(g)
+        prod = np.multiply(
+            weights_sorted,
+            sorted_g,
+            out=_pool.out_buffer(sorted_g.shape, sorted_g.dtype, tag="segsm-bwd"),
+        )
+        weighted = plan.sum_sorted(prod)
+        spread = plan.unsort(plan.spread_runs(weighted))
+        diff = np.subtract(g, spread, out=spread if pooled else None)
+        local = np.multiply(weights, diff, out=diff if pooled else None)
         return ((t, local[:, 0] if squeeze else local),)
 
     return Tensor(value, parents=(t,), backward=backward)
@@ -230,12 +256,40 @@ def segment_softmax_reference(
     return Tensor(value, parents=(t,), backward=backward)
 
 
+def edge_message_value(
+    pre: np.ndarray,
+    eproj,
+    bias: np.ndarray,
+    idx: np.ndarray,
+    extra=(),
+) -> np.ndarray:
+    """Raw-ndarray forward of :func:`edge_message` (no autograd).
+
+    Factored out so checkpointing callers (see ``recompute_input`` in
+    :func:`segment_attention`) can replay the fused message block in
+    backward bit-for-bit: same expressions in the same order as the
+    recorded forward.  ``extra`` holds ``(values_ndarray, index)`` pairs.
+    """
+    if _cnative.available():
+        return _cnative.edge_fuse_fwd(pre, idx, list(extra), eproj, bias)
+    pooled = _pool.buffer_pool_enabled()
+    buf = _pool.take_rows(pre, idx, tag="edge-msg")
+    for v, i in extra:
+        gathered = _pool.take_rows(v, i, tag="edge-msg-x")
+        buf = np.add(buf, gathered, out=buf if pooled else None)
+    if eproj is not None:
+        buf = np.add(buf, eproj, out=buf if pooled else None)
+    buf = np.add(buf, bias, out=buf if pooled else None)
+    return np.maximum(buf, 0.0, out=buf if pooled else None)
+
+
 def edge_message(
     pre: ArrayLike,
     eproj: ArrayLike,
     bias: ArrayLike,
     src_index: np.ndarray,
     extra=(),
+    checkpoint: bool = False,
 ) -> Tensor:
     """Fused aggregator prelude: ``relu(pre[src] + extras + eproj + bias)``.
 
@@ -251,6 +305,12 @@ def edge_message(
     ``(gather_rows(pre, src) + v0[i0] + v1[i1] + eproj + bias).relu()`` --
     same expressions in the same order -- but as one graph node, and one C
     pass each way when the compiled kernels are up.
+
+    With ``checkpoint=True`` (and the buffer pool on) the backward closure
+    keeps only the relu sign mask -- one bool per element instead of the
+    float value -- which is all either backward kernel reads of the output.
+    The caller may then drop the node's value mid-forward with
+    :meth:`Tensor.release_data` once its consumers have run.
     """
     t_p = as_tensor(pre)
     t_e = as_tensor(eproj) if eproj is not None else None
@@ -269,19 +329,40 @@ def edge_message(
     parents.append(t_b)
     parents = tuple(parents)
 
-    if _cnative.available():
-        value = _cnative.edge_fuse_fwd(
-            t_p.data,
-            idx,
-            [(t.data, i) for t, i in zip(t_x, x_idx)],
-            t_e.data if t_e is not None else None,
-            t_b.data,
+    value = edge_message_value(
+        t_p.data,
+        t_e.data if t_e is not None else None,
+        t_b.data,
+        idx,
+        [(t.data, i) for t, i in zip(t_x, x_idx)],
+    )
+    if checkpoint and _pool.buffer_pool_enabled():
+        # Both backward rules use the output only as a positivity mask
+        # (``value > 0``), so pin one bool per element instead of the
+        # (E, F) float block and let the caller release the value.
+        pos_mask = np.greater(
+            value, 0, out=_pool.out_buffer(value.shape, np.bool_, tag="edge-msg-mask")
         )
+        saved_value = None
+    else:
+        pos_mask = None
+        saved_value = value
+
+    if _cnative.available():
 
         def backward_c(grad: np.ndarray):
+            v = saved_value
+            if v is None:
+                # The C kernel reads its ``out`` argument only through
+                # ``o[j] > 0.0``; a 0/1 float cast of the mask is identical.
+                v = np.multiply(
+                    pos_mask,
+                    1.0,
+                    out=_pool.out_buffer(grad.shape, grad.dtype, tag="edge-msg-mask"),
+                )
             gmask, gpre, gex, gbias = _cnative.edge_fuse_bwd(
                 grad,
-                value,
+                v,
                 idx,
                 num_sources,
                 [(t.shape[0], i) for t, i in zip(t_x, x_idx)],
@@ -300,22 +381,19 @@ def edge_message(
 
         return Tensor(value, parents=parents, backward=backward_c)
 
-    buf = t_p.data[idx]
-    for t, i in zip(t_x, x_idx):
-        buf = buf + t.data[i]
-    if t_e is not None:
-        buf = buf + t_e.data
-    buf = buf + t_b.data
-    value = np.maximum(buf, 0.0)
-
     def backward(grad: np.ndarray):
-        gmask = grad * (value > 0)
+        m = pos_mask if pos_mask is not None else saved_value > 0
+        gmask = np.multiply(
+            grad,
+            m,
+            out=_pool.out_buffer(grad.shape, grad.dtype, tag="edge-msg-bwd"),
+        )
         fast = _segment.fast_kernels_enabled()
 
         def scatter(i, n):
             if fast:
                 return get_plan(i, n).sum(gmask)
-            g = np.zeros((n, gmask.shape[1]), dtype=np.float64)
+            g = _pool.zeros((n, gmask.shape[1]), tag="edge-msg-scatter")
             np.add.at(g, i, gmask)
             return g
 
@@ -342,6 +420,7 @@ def segment_attention(
     num_segments: int,
     scale: float,
     negative_slope: float = 0.2,
+    recompute_input=None,
 ) -> Tensor:
     """Fused multi-head segment attention: one autograd node for Eqs. 11-12.
 
@@ -361,6 +440,13 @@ def segment_attention(
     collapses into one closure over the shared :class:`SegmentPlan`.  On
     the allocator-bound 1-core training profile this roughly halves the
     number of large-array passes per aggregation.
+
+    ``recompute_input`` is the checkpointing hook used by the pooled
+    memory plane: a zero-argument callable returning an ndarray
+    bit-identical to ``fused.data``.  When given, the backward closure
+    calls it instead of reading ``t_f.data`` -- so the caller may release
+    the fused tensor's value mid-forward (:meth:`Tensor.release_data`)
+    and its (E, F) buffer recycles immediately.
     """
     t_f = as_tensor(fused)
     t_w = as_tensor(key_weight)
@@ -370,8 +456,14 @@ def segment_attention(
     _, num_heads, head_dim = t_q.shape
     out_dim = num_heads * head_dim
 
-    keys = (t_f.data @ t_w.data).reshape(num_edges, num_heads, head_dim)
+    keys_flat = np.matmul(
+        t_f.data,
+        t_w.data,
+        out=_pool.out_buffer((num_edges, out_dim), t_f.data.dtype, tag="segatt-keys"),
+    )
+    keys = keys_flat.reshape(num_edges, num_heads, head_dim)
 
+    pooled = _pool.buffer_pool_enabled()
     if _cnative.available():
         # Compiled path: scores, leaky relu, segment softmax and weighted
         # segment sum in one C pass per direction (see repro.tensor.cnative)
@@ -382,66 +474,167 @@ def segment_attention(
             keys, q_c, plan, scale, negative_slope
         )
         pos = agg > 0
-        value = agg * pos
+        # agg is a fresh kernel output; its buffer doubles as the value.
+        value = np.multiply(agg, pos, out=agg if pooled else None)
+
+        # Tape slimming: with the pool on, don't pin the (E, H, hd) keys
+        # until backward -- recompute them there from ``t_f``/``t_w``
+        # (both still live: parents retire after this node).  The same
+        # matmul on the same operands is bit-identical, and the keys
+        # buffer recycles mid-forward into the next relation's borrow.
+        saved_keys = None if pooled else keys
 
         def backward_c(grad: np.ndarray):
-            gout = grad * pos
-            g_keys, g_q = _cnative.seg_att_bwd(
-                keys, q_c, weights, leaky, gout, plan, scale
+            gout = np.multiply(
+                grad,
+                pos,
+                out=_pool.out_buffer(grad.shape, grad.dtype, tag="segatt-gout"),
             )
+            k = saved_keys
+            f = None
+            if k is None:
+                f = t_f.data if recompute_input is None else recompute_input()
+                k = np.matmul(
+                    f,
+                    t_w.data,
+                    out=_pool.out_buffer(
+                        (num_edges, out_dim), t_f.data.dtype, tag="segatt-keys"
+                    ),
+                ).reshape(num_edges, num_heads, head_dim)
+            g_keys, g_q = _cnative.seg_att_bwd(
+                k, q_c, weights, leaky, gout, plan, scale
+            )
+            # k is dead past this point; dropping the reference lets its
+            # pooled block satisfy one of the grad borrows just below.
+            k = None
             out = []
             if t_q.requires_grad:
                 out.append((t_q, g_q))
             if t_f.requires_grad or t_w.requires_grad:
                 gk_flat = g_keys.reshape(num_edges, out_dim)
                 if t_f.requires_grad:
-                    out.append((t_f, gk_flat @ t_w.data.T))
+                    g_f = np.matmul(
+                        gk_flat,
+                        t_w.data.T,
+                        out=_pool.out_buffer(
+                            t_f.data.shape, t_f.data.dtype, tag="segatt-gf"
+                        ),
+                    )
+                    out.append((t_f, g_f))
                 if t_w.requires_grad:
-                    out.append((t_w, t_f.data.T @ gk_flat))
+                    fd = f if f is not None else t_f.data
+                    out.append((t_w, fd.T @ gk_flat))
             return out
 
         return Tensor(value, parents=(t_f, t_w, t_q), backward=backward_c)
 
-    q_edge = t_q.data[ids]
+    q_edge = _pool.take_rows(t_q.data, ids, tag="segatt-qedge")
     # einsum contracts without materialising the (E, H, hd) product.
-    scores = np.einsum("ehd,ehd->eh", keys, q_edge) * scale
+    scores = np.einsum(
+        "ehd,ehd->eh",
+        keys,
+        q_edge,
+        out=_pool.out_buffer((num_edges, num_heads), keys.dtype, tag="segatt-score"),
+    )
+    scores = np.multiply(scores, scale, out=scores if pooled else None)
     leaky = np.where(scores > 0, 1.0, negative_slope)
-    act = scores * leaky
+    act = np.multiply(scores, leaky, out=scores if pooled else None)
 
     plan = get_plan(ids, num_segments)
     sorted_scores = plan.sort(act)
     seg_max = plan.max_sorted(sorted_scores)
-    exp = np.exp(sorted_scores - plan.spread_runs(seg_max))
+    spread_max = plan.spread_runs(seg_max)
+    shifted = np.subtract(sorted_scores, spread_max, out=spread_max if pooled else None)
+    exp = np.exp(shifted, out=shifted if pooled else None)
     seg_sum = plan.sum_sorted(exp)
-    weights = plan.unsort(exp / plan.spread_runs(seg_sum))
+    spread_sum = plan.spread_runs(seg_sum)
+    weights = plan.unsort(np.divide(exp, spread_sum, out=exp if pooled else None))
 
-    agg = plan.sum((keys * weights[:, :, None]).reshape(num_edges, out_dim))
+    weighted = np.multiply(
+        keys,
+        weights[:, :, None],
+        out=_pool.out_buffer(keys.shape, keys.dtype, tag="segatt-wk"),
+    )
+    agg = plan.sum(weighted.reshape(num_edges, out_dim))
     pos = agg > 0
-    value = agg * pos
+    value = np.multiply(agg, pos, out=agg if pooled else None)
+
+    # Tape slimming (mirrors the compiled path): with the pool on, the two
+    # (E, H, hd) arrays are recomputed in backward -- bit-identical ops on
+    # operands that are still live -- instead of pinned until then.
+    saved = None if pooled else (keys, q_edge)
 
     def backward(grad: np.ndarray):
+        f = None
+        if saved is None:
+            f = t_f.data if recompute_input is None else recompute_input()
+            keys_b = np.matmul(
+                f,
+                t_w.data,
+                out=_pool.out_buffer(
+                    (num_edges, out_dim), t_f.data.dtype, tag="segatt-keys"
+                ),
+            ).reshape(num_edges, num_heads, head_dim)
+            q_edge_b = _pool.take_rows(t_q.data, ids, tag="segatt-qedge")
+        else:
+            keys_b, q_edge_b = saved
         # relu -> segment_sum -> (weighted sum, softmax, score) in one pass.
-        g = (grad * pos)[ids].reshape(num_edges, num_heads, head_dim)
-        g_w = np.einsum("ehd,ehd->eh", g, keys)  # d/d weights, (E, H)
-        g_keys = g * weights[:, :, None]
+        gout = np.multiply(
+            grad, pos, out=_pool.out_buffer(grad.shape, grad.dtype, tag="segatt-bwd")
+        )
+        g = _pool.take_rows(gout, ids, tag="segatt-bwd").reshape(
+            num_edges, num_heads, head_dim
+        )
+        g_w = np.einsum(
+            "ehd,ehd->eh",
+            g,
+            keys_b,
+            out=_pool.out_buffer(
+                (num_edges, num_heads), keys_b.dtype, tag="segatt-bwd"
+            ),
+        )  # d/d weights, (E, H)
+        # g feeds only g_w and this product, so it may be overwritten.
+        g_keys = np.multiply(g, weights[:, :, None], out=g if pooled else None)
         # Softmax backward within segments: w * (g - sum_seg w g).
-        inner = plan.sum(weights * g_w)
-        g_s = weights * (g_w - inner[ids])
+        wgw = np.multiply(
+            weights,
+            g_w,
+            out=_pool.out_buffer(g_w.shape, g_w.dtype, tag="segatt-bwd"),
+        )
+        inner = plan.sum(wgw)
+        inner_edge = _pool.take_rows(inner, ids, tag="segatt-bwd")
+        g_s = np.subtract(g_w, inner_edge, out=inner_edge if pooled else None)
+        g_s = np.multiply(weights, g_s, out=g_s if pooled else None)
         g_s *= leaky
         g_s *= scale
-        g_keys += q_edge * g_s[:, :, None]
+        qs = np.multiply(
+            q_edge_b,
+            g_s[:, :, None],
+            out=_pool.out_buffer(q_edge_b.shape, q_edge_b.dtype, tag="segatt-bwd"),
+        )
+        g_keys += qs
         out = []
         if t_q.requires_grad:
+            ks = np.multiply(keys_b, g_s[:, :, None], out=qs if pooled else None)
             out.append(
-                (t_q, plan.sum((keys * g_s[:, :, None]).reshape(num_edges, out_dim))
-                 .reshape(t_q.shape))
+                (t_q, plan.sum(ks.reshape(num_edges, out_dim)).reshape(t_q.shape))
             )
         if t_f.requires_grad or t_w.requires_grad:
             gk_flat = g_keys.reshape(num_edges, out_dim)
             if t_f.requires_grad:
-                out.append((t_f, gk_flat @ t_w.data.T))
+                out.append((
+                    t_f,
+                    np.matmul(
+                        gk_flat,
+                        t_w.data.T,
+                        out=_pool.out_buffer(
+                            t_f.data.shape, t_f.data.dtype, tag="segatt-bwd"
+                        ),
+                    ),
+                ))
             if t_w.requires_grad:
-                out.append((t_w, t_f.data.T @ gk_flat))
+                fd = f if f is not None else t_f.data
+                out.append((t_w, fd.T @ gk_flat))
         return out
 
     return Tensor(value, parents=(t_f, t_w, t_q), backward=backward)
@@ -476,31 +669,96 @@ def period_attention(
     k = pk // num_periods
     head_dim = dim // num_heads
 
-    keys = (t.data @ t_wk.data).reshape(num_periods, k, num_heads, head_dim)
-    queries = (t.data @ t_wq.data).reshape(num_periods, k, num_heads, head_dim)
-    scores = np.einsum("pkhd,pkhd->pkh", keys, queries) * scale  # (P, K, H)
-    shifted = scores - scores.max(axis=0, keepdims=True)
-    exp = np.exp(shifted)
-    weights = exp / exp.sum(axis=0, keepdims=True)
-    mixed = np.einsum("pkhd,pkh->khd", keys, weights)  # (K, H, hd)
+    pooled = _pool.buffer_pool_enabled()
+    keys = np.matmul(
+        t.data, t_wk.data, out=_pool.out_buffer((pk, dim), tag="pattn-keys")
+    ).reshape(num_periods, k, num_heads, head_dim)
+    queries = np.matmul(
+        t.data, t_wq.data, out=_pool.out_buffer((pk, dim), tag="pattn-queries")
+    ).reshape(num_periods, k, num_heads, head_dim)
+    scores = np.einsum(
+        "pkhd,pkhd->pkh",
+        keys,
+        queries,
+        out=_pool.out_buffer((num_periods, k, num_heads), tag="pattn-scores"),
+    )  # (P, K, H)
+    scores = np.multiply(scores, scale, out=scores if pooled else None)
+    # The softmax chain reuses one buffer when pooled: each step consumes
+    # the previous array, so in-place writes are value-identical.
+    shifted = np.subtract(
+        scores,
+        scores.max(axis=0, keepdims=True),
+        out=scores if pooled else None,
+    )
+    exp = np.exp(shifted, out=shifted if pooled else None)
+    weights = np.divide(
+        exp, exp.sum(axis=0, keepdims=True), out=exp if pooled else None
+    )
+    mixed = np.einsum(
+        "pkhd,pkh->khd",
+        keys,
+        weights,
+        out=_pool.out_buffer((k, num_heads, head_dim), tag="pattn-mixed"),
+    )  # (K, H, hd)
     out_flat = mixed.reshape(k, dim)
-    pos = out_flat > 0
-    value = out_flat * pos
+    pos = np.greater(
+        out_flat, 0, out=_pool.out_buffer((k, dim), np.bool_, tag="pattn-pos")
+    )
+    value = np.multiply(out_flat, pos, out=out_flat if pooled else None)
 
     def backward(grad: np.ndarray):
-        g = (grad * pos).reshape(k, num_heads, head_dim)
-        g_w = np.einsum("pkhd,khd->pkh", keys, g)  # (P, K, H)
-        g_keys = weights[..., None] * g[None]
-        inner = (weights * g_w).sum(axis=0, keepdims=True)
-        g_s = weights * (g_w - inner)
+        inplace = _pool.buffer_pool_enabled()
+        g = np.multiply(
+            grad, pos, out=_pool.out_buffer(grad.shape, tag="pattn-g")
+        ).reshape(k, num_heads, head_dim)
+        g_w = np.einsum(
+            "pkhd,khd->pkh",
+            keys,
+            g,
+            out=_pool.out_buffer(
+                (num_periods, k, num_heads), tag="pattn-gw"
+            ),
+        )  # (P, K, H)
+        g_keys = np.multiply(
+            weights[..., None],
+            g[None],
+            out=_pool.out_buffer(keys.shape, tag="pattn-gkeys"),
+        )
+        wgw = np.multiply(
+            weights, g_w, out=_pool.out_buffer(g_w.shape, tag="pattn-wgw")
+        )
+        inner = wgw.sum(axis=0, keepdims=True)
+        # g_w is backward-local from here on; ``weights`` stays untouched
+        # (it is returned to the caller alongside the output tensor).
+        diff = np.subtract(g_w, inner, out=g_w if inplace else None)
+        g_s = np.multiply(weights, diff, out=diff if inplace else None)
         g_s *= scale
-        g_keys += queries * g_s[..., None]
-        g_queries = keys * g_s[..., None]
+        qgs = np.multiply(
+            queries,
+            g_s[..., None],
+            out=_pool.out_buffer(keys.shape, tag="pattn-qgs"),
+        )
+        g_keys += qgs
+        g_queries = np.multiply(
+            keys,
+            g_s[..., None],
+            out=_pool.out_buffer(keys.shape, tag="pattn-gqueries"),
+        )
         gk = g_keys.reshape(pk, dim)
         gq = g_queries.reshape(pk, dim)
         out = []
         if t.requires_grad:
-            out.append((t, gk @ t_wk.data.T + gq @ t_wq.data.T))
+            gtk = np.matmul(
+                gk,
+                t_wk.data.T,
+                out=_pool.out_buffer((pk, dim), tag="pattn-gt"),
+            )
+            gtq = np.matmul(
+                gq,
+                t_wq.data.T,
+                out=_pool.out_buffer((pk, dim), tag="pattn-gt"),
+            )
+            out.append((t, np.add(gtk, gtq, out=gtk if inplace else None)))
         if t_wk.requires_grad:
             out.append((t_wk, t.data.T @ gk))
         if t_wq.requires_grad:

@@ -36,6 +36,8 @@ from typing import Optional
 
 import numpy as np
 
+from . import pool as _pool
+
 __all__ = [
     "SegmentPlan",
     "get_plan",
@@ -121,7 +123,9 @@ class SegmentPlan:
     # ------------------------------------------------------------------
     def sort(self, values: np.ndarray) -> np.ndarray:
         """Rows of ``values`` permuted into segment-sorted order."""
-        return values if self.perm is None else values[self.perm]
+        if self.perm is None:
+            return values
+        return _pool.take_rows(values, self.perm, tag="plan-sort")
 
     def unsort(self, sorted_values: np.ndarray) -> np.ndarray:
         """Inverse of :meth:`sort`."""
@@ -129,37 +133,52 @@ class SegmentPlan:
             return sorted_values
         if self._inv_perm is None:
             self._inv_perm = np.argsort(self.perm, kind="stable")
-        return sorted_values[self._inv_perm]
+        return _pool.take_rows(sorted_values, self._inv_perm, tag="plan-unsort")
 
     def sum_sorted(self, sorted_values: np.ndarray) -> np.ndarray:
         """Per-run sums of already-sorted rows, shape ``(num_runs, ...)``."""
         if self.num_rows == 0:
             return np.zeros((0,) + sorted_values.shape[1:], dtype=np.float64)
-        return np.add.reduceat(sorted_values, self.starts, axis=0)
+        shape = (len(self.starts),) + sorted_values.shape[1:]
+        return np.add.reduceat(
+            sorted_values,
+            self.starts,
+            axis=0,
+            out=_pool.out_buffer(shape, sorted_values.dtype, tag="plan-reduce"),
+        )
 
     def max_sorted(self, sorted_values: np.ndarray) -> np.ndarray:
         """Per-run maxima of already-sorted rows."""
         if self.num_rows == 0:
             return np.zeros((0,) + sorted_values.shape[1:], dtype=np.float64)
-        return np.maximum.reduceat(sorted_values, self.starts, axis=0)
+        shape = (len(self.starts),) + sorted_values.shape[1:]
+        return np.maximum.reduceat(
+            sorted_values,
+            self.starts,
+            axis=0,
+            out=_pool.out_buffer(shape, sorted_values.dtype, tag="plan-reduce"),
+        )
 
     def spread_runs(self, per_run: np.ndarray) -> np.ndarray:
         """Broadcast per-run values back onto sorted rows."""
-        return per_run[self.run_of_row]
+        return _pool.take_rows(per_run, self.run_of_row, tag="plan-spread")
 
     # ------------------------------------------------------------------
     # Segment-space reductions (the drop-in ``ufunc.at`` replacements).
     # ------------------------------------------------------------------
     def sum(self, values: np.ndarray) -> np.ndarray:
         """``np.add.at``-equivalent scatter-add, shape ``(num_segments, ...)``."""
-        out = np.zeros((self.num_segments,) + values.shape[1:], dtype=np.float64)
+        shape = (self.num_segments,) + values.shape[1:]
+        out = _pool.zeros(shape, tag="segment-sum")
         if self.num_rows:
             out[self.occupied] = self.sum_sorted(self.sort(values))
         return out
 
     def max(self, values: np.ndarray, fill: float = -np.inf) -> np.ndarray:
         """``np.maximum.at``-equivalent scatter-max (``fill`` for empties)."""
-        out = np.full((self.num_segments,) + values.shape[1:], fill, dtype=np.float64)
+        shape = (self.num_segments,) + values.shape[1:]
+        out = _pool.empty(shape, tag="segment-max")
+        out.fill(fill)
         if self.num_rows:
             out[self.occupied] = self.max_sorted(self.sort(values))
         return out

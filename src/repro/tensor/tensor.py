@@ -26,6 +26,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import pool as _pool
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 # A backward rule maps the output gradient to (parent, gradient) pairs.
@@ -56,12 +58,41 @@ def as_tensor(value: ArrayLike) -> "Tensor":
     return Tensor(np.asarray(value, dtype=np.float64))
 
 
+def _bshape(a: np.ndarray, b: np.ndarray) -> Tuple[int, ...]:
+    """Result shape of a broadcast binary op (fast path for equal shapes)."""
+    if a.shape == b.shape:
+        return a.shape
+    return np.broadcast_shapes(a.shape, b.shape)
+
+
+def _accumulate_leaf(node: "Tensor", node_grad: np.ndarray, pooled: bool) -> None:
+    """Fold ``node_grad`` into a leaf's ``.grad`` (reusing buffers if pooled)."""
+    if node.grad is None:
+        if pooled:
+            buf = node._grad_buf
+            node._grad_buf = None
+            if buf is not None and buf.shape == node_grad.shape:
+                # The buffer parked by zero_grad: overwrite in place
+                # (bit-for-bit equal to node_grad.copy()).
+                np.copyto(buf, node_grad)
+                node.grad = buf
+                return
+        node.grad = node_grad.copy()
+    elif pooled:
+        # The leaf's .grad is exclusively owned (created by copy/copyto
+        # above), so in-place accumulation is safe and bit-identical.
+        np.add(node.grad, node_grad, out=node.grad)
+    else:
+        node.grad = node.grad + node_grad
+
+
 class Tensor:
     """A numpy array plus the bookkeeping for reverse-mode autodiff."""
 
     __slots__ = (
         "data",
         "grad",
+        "_grad_buf",
         "requires_grad",
         "_backward",
         "_parents",
@@ -79,6 +110,7 @@ class Tensor:
     ) -> None:
         self.data: np.ndarray = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
+        self._grad_buf: Optional[np.ndarray] = None
         self.requires_grad: bool = requires_grad or any(
             p.requires_grad for p in parents
         )
@@ -113,7 +145,35 @@ class Tensor:
         return Tensor(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
+        # With the buffer pool on, park the gradient buffer instead of
+        # dropping it: the next backward overwrites it in place
+        # (np.copyto), so leaf gradients stop allocating at steady state.
+        if self.grad is not None and _pool.buffer_pool_enabled():
+            self._grad_buf = self.grad
         self.grad = None
+
+    def release_data(self) -> None:
+        """Drop this interior node's value array, keeping the autograd node.
+
+        Tape slimming for op outputs that are consumed at graph-build time
+        only: once every forward consumer has read ``.data`` and no
+        backward rule re-reads it (matmul-style rules read their
+        *parents'* data; scatter-style rules read only gradients), the
+        value is dead weight pinned for the rest of the step.  The data is
+        replaced by a zero-stride placeholder of the same shape and dtype,
+        so the (pooled) buffer recycles immediately mid-forward while
+        shape introspection keeps working; an accidental later read sees
+        deterministic zeros, not freed memory.
+
+        The caller asserts the no-later-read contract.  No-op on leaves
+        (their data is the model state) and with the buffer pool disabled,
+        which keeps the reference allocation path untouched.
+        """
+        if self._backward is None or not _pool.buffer_pool_enabled():
+            return
+        self.data = np.broadcast_to(
+            np.zeros((), dtype=self.data.dtype), self.data.shape
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -126,15 +186,41 @@ class Tensor:
     # ------------------------------------------------------------------
     # Autograd driver
     # ------------------------------------------------------------------
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+    def backward(
+        self, grad: Optional[np.ndarray] = None, free_graph: bool = False
+    ) -> None:
         """Backpropagate from this tensor.
 
         ``grad`` defaults to ones (so ``loss.backward()`` works for scalar
         losses).  Gradients accumulate into ``.grad`` of every reachable
         tensor with ``requires_grad=True``.
+
+        With ``free_graph=True`` the tape is retired as it is consumed:
+        each node's ``_parents``/``_backward`` links are dropped right
+        after its gradient has been propagated, so intermediate tensors
+        (and their pooled buffers) are reclaimed *during* the walk --
+        backward gradients recycle the forward pass's buffers instead of
+        stacking on top of the full tape -- and peak memory stops scaling
+        with graph depth.  Retired tensors keep ``data`` and ``grad`` but
+        cannot be backpropagated through again.
+
+        With the buffer pool on (``O2_BUFFER_POOL``, default), gradient
+        fan-in accumulates in place into driver-owned pooled buffers
+        (``np.add(g, pg, out=g)``) -- bit-for-bit identical to the
+        reference ``g + pg`` binding, without the per-accumulation
+        allocation.  An accumulator is only ever mutated when this driver
+        created it; gradients handed back by op closures (which may alias
+        the output gradient or each other) are never written to.
         """
+        pooled = _pool.buffer_pool_enabled()
+        seed_owned = False
         if grad is None:
-            grad = np.ones_like(self.data)
+            if pooled:
+                grad = _pool.empty(self.data.shape, tag="seed-grad")
+                grad.fill(1.0)
+                seed_owned = True
+            else:
+                grad = np.ones_like(self.data)
         else:
             grad = np.asarray(grad, dtype=np.float64)
             if grad.shape != self.data.shape:
@@ -145,25 +231,46 @@ class Tensor:
 
         order = self._topological_order()
         grads: dict = {id(self): grad}
-        for node in order:
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node._backward is None:
-                if node.requires_grad:
-                    if node.grad is None:
-                        node.grad = node_grad.copy()
-                    else:
-                        node.grad = node.grad + node_grad
-                continue
-            for parent, parent_grad in node._backward(node_grad):
-                if not parent.requires_grad:
-                    continue
-                key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + parent_grad
+        # Keys whose accumulator buffer was created by this driver and is
+        # therefore safe to mutate in place.
+        owned: set = {id(self)} if seed_owned else set()
+        for i in range(len(order)):
+            node = order[i]
+            key = id(node)
+            node_grad = grads.pop(key, None)
+            owned.discard(key)
+            if node_grad is not None:
+                if node._backward is None:
+                    if node.requires_grad:
+                        _accumulate_leaf(node, node_grad, pooled)
                 else:
-                    grads[key] = parent_grad
+                    for parent, parent_grad in node._backward(node_grad):
+                        if not parent.requires_grad:
+                            continue
+                        pkey = id(parent)
+                        existing = grads.get(pkey)
+                        if existing is None:
+                            grads[pkey] = parent_grad
+                        elif pooled:
+                            if pkey in owned:
+                                np.add(existing, parent_grad, out=existing)
+                            else:
+                                buf = _pool.empty(
+                                    existing.shape, tag="grad-accum"
+                                )
+                                np.add(existing, parent_grad, out=buf)
+                                grads[pkey] = buf
+                                owned.add(pkey)
+                        else:
+                            grads[pkey] = existing + parent_grad
+            if free_graph:
+                node._backward = None
+                node._parents = ()
+                order[i] = None
+            # Drop the loop references so a retired node (and its pooled
+            # buffers) frees before the next iteration's allocations.
+            node = None
+            node_grad = None
 
     def _topological_order(self) -> List["Tensor"]:
         """Reverse topological order (this tensor first)."""
@@ -204,7 +311,10 @@ class Tensor:
                 out.append((b, unbroadcast(grad, b.shape)))
             return out
 
-        return Tensor(a.data + b.data, parents=(a, b), backward=backward)
+        value = np.add(
+            a.data, b.data, out=_pool.out_buffer(_bshape(a.data, b.data), tag="add")
+        )
+        return Tensor(value, parents=(a, b), backward=backward)
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
         return self.__add__(other)
@@ -218,10 +328,16 @@ class Tensor:
             if a.requires_grad:
                 out.append((a, unbroadcast(grad, a.shape)))
             if b.requires_grad:
-                out.append((b, unbroadcast(-grad, b.shape)))
+                neg = np.negative(
+                    grad, out=_pool.out_buffer(grad.shape, tag="sub-bwd")
+                )
+                out.append((b, unbroadcast(neg, b.shape)))
             return out
 
-        return Tensor(a.data - b.data, parents=(a, b), backward=backward)
+        value = np.subtract(
+            a.data, b.data, out=_pool.out_buffer(_bshape(a.data, b.data), tag="sub")
+        )
+        return Tensor(value, parents=(a, b), backward=backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other).__sub__(self)
@@ -233,12 +349,25 @@ class Tensor:
         def backward(grad: np.ndarray):
             out = []
             if a.requires_grad:
-                out.append((a, unbroadcast(grad * b.data, a.shape)))
+                ga = np.multiply(
+                    grad,
+                    b.data,
+                    out=_pool.out_buffer(_bshape(grad, b.data), tag="mul-bwd"),
+                )
+                out.append((a, unbroadcast(ga, a.shape)))
             if b.requires_grad:
-                out.append((b, unbroadcast(grad * a.data, b.shape)))
+                gb = np.multiply(
+                    grad,
+                    a.data,
+                    out=_pool.out_buffer(_bshape(grad, a.data), tag="mul-bwd"),
+                )
+                out.append((b, unbroadcast(gb, b.shape)))
             return out
 
-        return Tensor(a.data * b.data, parents=(a, b), backward=backward)
+        value = np.multiply(
+            a.data, b.data, out=_pool.out_buffer(_bshape(a.data, b.data), tag="mul")
+        )
+        return Tensor(value, parents=(a, b), backward=backward)
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
         return self.__mul__(other)
@@ -250,12 +379,20 @@ class Tensor:
         def backward(grad: np.ndarray):
             out = []
             if a.requires_grad:
-                out.append((a, unbroadcast(grad / b.data, a.shape)))
+                ga = np.divide(
+                    grad,
+                    b.data,
+                    out=_pool.out_buffer(_bshape(grad, b.data), tag="div-bwd"),
+                )
+                out.append((a, unbroadcast(ga, a.shape)))
             if b.requires_grad:
                 out.append((b, unbroadcast(-grad * a.data / (b.data**2), b.shape)))
             return out
 
-        return Tensor(a.data / b.data, parents=(a, b), backward=backward)
+        value = np.divide(
+            a.data, b.data, out=_pool.out_buffer(_bshape(a.data, b.data), tag="div")
+        )
+        return Tensor(value, parents=(a, b), backward=backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other).__truediv__(self)
@@ -264,9 +401,11 @@ class Tensor:
         a = self
 
         def backward(grad: np.ndarray):
-            return ((a, -grad),)
+            neg = np.negative(grad, out=_pool.out_buffer(grad.shape, tag="neg-bwd"))
+            return ((a, neg),)
 
-        return Tensor(-a.data, parents=(a,), backward=backward)
+        value = np.negative(a.data, out=_pool.out_buffer(a.shape, tag="neg"))
+        return Tensor(value, parents=(a,), backward=backward)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -305,6 +444,21 @@ class Tensor:
                     out.append((a, np.outer(grad, b_data)))
                 if need_b:
                     out.append((b, a_data.T @ grad))
+            elif a_data.ndim == 2 and b_data.ndim == 2:
+                if need_a:
+                    ga = np.matmul(
+                        grad,
+                        b_data.T,
+                        out=_pool.out_buffer(a_data.shape, tag="matmul-bwd"),
+                    )
+                    out.append((a, ga))
+                if need_b:
+                    gb = np.matmul(
+                        a_data.T,
+                        grad,
+                        out=_pool.out_buffer(b_data.shape, tag="matmul-bwd"),
+                    )
+                    out.append((b, gb))
             else:
                 if need_a:
                     ga = grad @ np.swapaxes(b_data, -1, -2)
@@ -314,17 +468,30 @@ class Tensor:
                     out.append((b, unbroadcast(gb, b_data.shape)))
             return out
 
-        return Tensor(a.data @ b.data, parents=(a, b), backward=backward)
+        if a.data.ndim == 2 and b.data.ndim == 2:
+            value = np.matmul(
+                a.data,
+                b.data,
+                out=_pool.out_buffer(
+                    (a.data.shape[0], b.data.shape[1]), tag="matmul"
+                ),
+            )
+        else:
+            value = a.data @ b.data
+        return Tensor(value, parents=(a, b), backward=backward)
 
     # ------------------------------------------------------------------
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         a = self
-        value = np.exp(a.data)
+        value = np.exp(a.data, out=_pool.out_buffer(a.shape, tag="exp"))
 
         def backward(grad: np.ndarray):
-            return ((a, grad * value),)
+            g = np.multiply(
+                grad, value, out=_pool.out_buffer(grad.shape, tag="exp-bwd")
+            )
+            return ((a, g),)
 
         return Tensor(value, parents=(a,), backward=backward)
 
@@ -349,21 +516,35 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         a = self
-        mask = a.data > 0
+        mask = np.greater(
+            a.data, 0, out=_pool.out_buffer(a.shape, np.bool_, tag="relu-mask")
+        )
 
         def backward(grad: np.ndarray):
-            return ((a, grad * mask),)
+            g = np.multiply(
+                grad, mask, out=_pool.out_buffer(grad.shape, tag="relu-bwd")
+            )
+            return ((a, g),)
 
-        return Tensor(a.data * mask, parents=(a,), backward=backward)
+        value = np.multiply(
+            a.data, mask, out=_pool.out_buffer(a.shape, tag="relu")
+        )
+        return Tensor(value, parents=(a,), backward=backward)
 
     def leaky_relu(self, slope: float = 0.2) -> "Tensor":
         a = self
         scale = np.where(a.data > 0, 1.0, slope)
 
         def backward(grad: np.ndarray):
-            return ((a, grad * scale),)
+            g = np.multiply(
+                grad, scale, out=_pool.out_buffer(grad.shape, tag="lrelu-bwd")
+            )
+            return ((a, g),)
 
-        return Tensor(a.data * scale, parents=(a,), backward=backward)
+        value = np.multiply(
+            a.data, scale, out=_pool.out_buffer(a.shape, tag="lrelu")
+        )
+        return Tensor(value, parents=(a,), backward=backward)
 
     def sigmoid(self) -> "Tensor":
         a = self
@@ -397,7 +578,11 @@ class Tensor:
                 axes = tuple(ax % len(shape) for ax in axes)
                 for ax in sorted(axes):
                     g = np.expand_dims(g, axis=ax)
-            return ((a, np.broadcast_to(g, shape).copy()),)
+            buf = _pool.out_buffer(shape, tag="sum-bwd")
+            if buf is None:
+                return ((a, np.broadcast_to(g, shape).copy()),)
+            np.copyto(buf, g)  # broadcasting copy, == broadcast_to().copy()
+            return ((a, buf),)
 
         return Tensor(
             a.data.sum(axis=axis, keepdims=keepdims), parents=(a,), backward=backward
@@ -498,7 +683,7 @@ class Tensor:
         )
 
         def backward(grad: np.ndarray):
-            full = np.zeros(shape, dtype=np.float64)
+            full = _pool.zeros(shape, tag="getitem-bwd")
             if simple:
                 full[index] += grad
             else:
