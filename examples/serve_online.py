@@ -3,8 +3,9 @@
 The training-side model re-runs the full multi-graph propagation on every
 ``predict``; the serving layer (``repro.serve``) runs it once, freezes the
 per-period embeddings, and serves top-k queries from a gather + small
-matmuls -- with an LRU+TTL score cache, micro-batched concurrent scoring
-and atomic hot swap for retrained models.
+matmuls -- with an LRU+TTL score cache, micro-batched concurrent scoring,
+atomic hot swap for retrained models, and a retrieve-then-rank vector
+index that shortlists candidate regions before the exact scorer runs.
 
     python examples/serve_online.py
 """
@@ -85,6 +86,33 @@ def main() -> None:
         service.reload(ModelSnapshot.from_model(model))
         print(f"\nhot-swapped to snapshot {service.snapshot.snapshot_id}")
         print(f"post-reload top region: {service.query(juice, k=1)[0].region}")
+
+    # 6. Retrieve-then-rank: attach a vector index so unconstrained
+    #    queries probe IVF partitions of the exact score sheet instead of
+    #    scanning every region, then re-rank survivors with the exact
+    #    scorer (DESIGN.md section 10; `--index`/`O2_SERVE_INDEX` on the
+    #    CLI).  The index rides inside the snapshot file either format.
+    index = snapshot.build_index(kind="ivf", retrieve_m=16)
+    snapshot.save("/tmp/o2_siterec_snap.arena", format="arena")
+    info = index.describe()
+    print(
+        f"\nbuilt {info['kind']} index: {info['partitions']} partitions, "
+        f"retrieve_m={info['retrieve_m']}, nprobe={info['nprobe']}, "
+        f"{info['bytes'] / 1024:.1f} KiB"
+    )
+    with RecommendationService(snapshot, default_k=3, use_index=True) as fast:
+        via_index = fast.query(juice)
+        retrievals = fast.stats()["counters"]["retrievals"]
+    with RecommendationService(snapshot, default_k=3, use_index=False) as exact:
+        full_scan = exact.query(juice)
+    identical = [(r.region, r.predicted_orders) for r in via_index] == [
+        (r.region, r.predicted_orders) for r in full_scan
+    ]
+    recall = index.recall_against_full_scan(juice, k=3)
+    print(
+        f"retrieval recall@3: {recall:.3f}; indexed top-3 identical to "
+        f"exact full scan: {identical} ({retrievals} retrieval pass)"
+    )
 
 
 if __name__ == "__main__":

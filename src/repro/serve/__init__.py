@@ -11,9 +11,15 @@ representation building from the cheap per-request scoring:
 * :mod:`~repro.serve.arena` -- a zero-copy single-file snapshot container
   opened via ``np.memmap``: O(ms) loads regardless of size, and N worker
   processes share one physical copy through the OS page cache.
+* :class:`~repro.serve.index.VectorIndex` -- a dependency-free IVF/flat
+  retrieval index over the snapshot's region embeddings: the coarse
+  stage of retrieve-then-rank serving, serialized as extra 64B-aligned
+  arena segments (``python -m repro.serve build-index``).
 * :class:`RecommendationService` -- top-k query API with candidate
-  filters, an LRU+TTL score cache, a micro-batching request queue and
-  atomic snapshot hot swap (``service.reload``).
+  filters, retrieve-then-rank when the snapshot carries an index
+  (``O2_SERVE_INDEX`` / ``--index``), an LRU+TTL score cache, a
+  micro-batching request queue and atomic snapshot hot swap
+  (``service.reload``).
 * :class:`~repro.serve.workers.WorkerPool` -- pre-forked multi-process
   HTTP serving (``O2_SERVE_PROCS``): ``SO_REUSEPORT`` load balancing with
   a fail-soft inherited-socket fallback, shared-memory fleet metrics, and
@@ -23,9 +29,16 @@ representation building from the cheap per-request scoring:
   ``python -m repro.serve convert`` rewrites ``.npz`` snapshots as arenas.
 """
 
-from .arena import convert_snapshot, is_arena_file, open_arena, save_arena
+from .arena import (
+    arena_segments,
+    convert_snapshot,
+    is_arena_file,
+    open_arena,
+    save_arena,
+)
 from .batching import MicroBatcher
 from .cache import ScoreCache, candidate_digest
+from .index import VectorIndex
 from .metrics import LatencyHistogram, ServiceMetrics
 from .protocol import handle_line, make_http_handler, serve_http, serve_lines
 from .service import RecommendationService
@@ -35,6 +48,7 @@ from .workers import SharedServiceStats, WorkerPool, read_manifest, write_manife
 __all__ = [
     "ModelSnapshot",
     "RecommendationService",
+    "VectorIndex",
     "MicroBatcher",
     "ScoreCache",
     "candidate_digest",
@@ -47,6 +61,7 @@ __all__ = [
     "save_arena",
     "open_arena",
     "is_arena_file",
+    "arena_segments",
     "convert_snapshot",
     "WorkerPool",
     "SharedServiceStats",

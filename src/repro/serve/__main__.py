@@ -20,6 +20,11 @@ Convert an existing ``.npz`` snapshot to the mmap arena format:
 
     python -m repro.serve convert snap.npz
 
+Attach a retrieval index (retrieve-then-rank serving) to a snapshot; the
+index rides inside the same file as extra arena segments:
+
+    python -m repro.serve build-index snap.arena --retrieve-m 64
+
 Run one command and exit (useful for scripting/smoke tests):
 
     python -m repro.serve --snapshot snap.npz --once "QUERY 2 K=3"
@@ -32,7 +37,7 @@ import sys
 from pathlib import Path
 
 from ..parallel import num_serve_procs
-from .arena import convert_snapshot
+from .arena import convert_snapshot, is_arena_file
 from .protocol import handle_line, serve_http, serve_lines
 from .service import RecommendationService
 from .snapshot import ModelSnapshot
@@ -98,7 +103,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--cache-entries", type=int, default=512)
     parser.add_argument("--cache-ttl-s", type=float, default=300.0)
+    parser.add_argument(
+        "--index",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="retrieve-then-rank: auto uses the snapshot's index when "
+        "present, on requires it, off forces the exact full scan "
+        "(overrides O2_SERVE_INDEX)",
+    )
+    parser.add_argument(
+        "--retrieve-m",
+        type=int,
+        default=None,
+        help="override the index's stored retrieval depth (top-M "
+        "survivors re-ranked exactly)",
+    )
+    parser.add_argument(
+        "--nprobe",
+        type=int,
+        default=None,
+        help="override the index's stored IVF probe count",
+    )
     return parser
+
+
+def _index_kwargs(args: argparse.Namespace) -> dict:
+    use_index = {"auto": None, "on": True, "off": False}[args.index]
+    return {
+        "use_index": use_index,
+        "retrieve_m": args.retrieve_m,
+        "nprobe": args.nprobe,
+    }
 
 
 def _load_snapshot(args: argparse.Namespace) -> ModelSnapshot:
@@ -147,13 +182,90 @@ def _convert_main(argv) -> int:
     return 0
 
 
+def build_index_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve build-index",
+        description="Attach a retrieval index to a snapshot "
+        "(retrieve-then-rank serving).",
+    )
+    parser.add_argument("source", type=Path, help="snapshot (.npz or .arena)")
+    parser.add_argument(
+        "dest",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="output snapshot+index (default: rewrite source in place)",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=["ivf", "flat"],
+        default="ivf",
+        help="ivf = partitioned (nprobe knob), flat = exhaustive baseline",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="IVF partition count (default: ~sqrt(num regions))",
+    )
+    parser.add_argument(
+        "--retrieve-m",
+        type=int,
+        default=64,
+        help="default retrieval depth stored with the index",
+    )
+    parser.add_argument(
+        "--nprobe",
+        type=int,
+        default=None,
+        help="default probe count stored with the index "
+        "(default: partitions // 4)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="k-means seed")
+    parser.add_argument(
+        "--iters", type=int, default=15, help="k-means Lloyd iterations"
+    )
+    return parser
+
+
+def _build_index_main(argv) -> int:
+    args = build_index_parser().parse_args(argv)
+    snapshot = ModelSnapshot.load(args.source)
+    index = snapshot.build_index(
+        kind=args.kind,
+        partitions=args.partitions,
+        retrieve_m=args.retrieve_m,
+        nprobe=args.nprobe,
+        seed=args.seed,
+        iters=args.iters,
+    )
+    dest = args.source if args.dest is None else args.dest
+    fmt = (
+        "arena"
+        if dest.suffix == ".arena"
+        or (args.dest is None and is_arena_file(args.source))
+        else "npz"
+    )
+    path = snapshot.save(dest, format=fmt)
+    info = index.describe()
+    print(
+        f"wrote {info['kind']} index ({info['partitions']} partitions, "
+        f"retrieve_m={info['retrieve_m']}, nprobe={info['nprobe']}, "
+        f"{info['bytes'] / 1e6:.2f} MB) into {path}"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # Subcommand dispatch before the flag parser: `convert` has its own
-    # positional grammar, everything else keeps the original flags.
+    # Subcommand dispatch before the flag parser: `convert` and
+    # `build-index` have their own positional grammar, everything else
+    # keeps the original flags.
     if argv and argv[0] == "convert":
         return _convert_main(argv[1:])
+    if argv and argv[0] == "build-index":
+        return _build_index_main(argv[1:])
     args = build_parser().parse_args(argv)
     procs = args.procs if args.procs is not None else num_serve_procs()
     if procs < 1:
@@ -182,6 +294,7 @@ def main(argv=None) -> int:
                 "num_workers": args.workers,
                 "cache_entries": args.cache_entries,
                 "cache_ttl_s": args.cache_ttl_s,
+                **_index_kwargs(args),
             },
         )
         with pool:
@@ -209,6 +322,11 @@ def main(argv=None) -> int:
         print(f"wrote snapshot {snapshot.snapshot_id} to {path}")
         return 0
 
+    if args.index == "on" and snapshot.index is None:
+        build_parser().error(
+            "--index on requires an indexed snapshot (run "
+            "`python -m repro.serve build-index` first)"
+        )
     service = RecommendationService(
         snapshot,
         default_k=args.default_k,
@@ -217,6 +335,7 @@ def main(argv=None) -> int:
         num_workers=args.workers,
         cache_entries=args.cache_entries,
         cache_ttl_s=args.cache_ttl_s,
+        **_index_kwargs(args),
     )
     try:
         if args.once is not None:

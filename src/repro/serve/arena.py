@@ -11,6 +11,13 @@ The arena is the deployment-grade alternative: one flat file holding
 * the raw C-contiguous bytes of every parameter array, each segment
   aligned to 64 bytes.
 
+Retrieval-index state (:mod:`repro.serve.index`) rides in the same
+container as additional ``index__``-prefixed segments plus an ``index``
+key in the header metadata -- an indexed arena opens exactly like a plain
+one (zero copies, ~zero extra open cost) and hot-swaps with its snapshot
+as one atomic unit.  :func:`arena_segments` lists the table for
+inspection.
+
 :func:`open_arena` memory-maps the file read-only and hands
 :class:`~repro.serve.snapshot.ModelSnapshot` views straight into the map:
 no bytes are copied, no hash is recomputed (the fingerprint rides in the
@@ -103,6 +110,11 @@ def save_arena(snapshot: ModelSnapshot, path: PathLike) -> Path:
             for name, array in arrays.items():
                 out.seek(data_start + table[name]["offset"])
                 out.write(array.tobytes())
+            # Zero-byte segments (e.g. a flat index's empty inverted
+            # lists) can leave their offsets past EOF -- a seek with no
+            # write does not extend the file.  Truncate up so every table
+            # entry is in bounds.
+            out.truncate(data_start + offset)
             out.flush()
             os.fsync(out.fileno())
         os.replace(tmp_name, path)
@@ -125,6 +137,17 @@ def read_arena_header(path: PathLike) -> Tuple[dict, int]:
         header = json.loads(handle.read(header_len).decode("utf-8"))
     data_start = _align(len(ARENA_MAGIC) + _LEN_STRUCT.size + header_len)
     return header, data_start
+
+
+def arena_segments(path: PathLike) -> Dict[str, dict]:
+    """The arena's array table: ``name -> dtype/shape/offset/nbytes``.
+
+    Pure header read (no data pages touched).  Index segments are the
+    entries whose name starts with ``index__``; summing their ``nbytes``
+    gives the on-disk cost of the retrieval stage.
+    """
+    header, _ = read_arena_header(path)
+    return dict(header["arrays"])
 
 
 def open_arena(

@@ -1,0 +1,435 @@
+"""Candidate retrieval index: the coarse stage of retrieve-then-rank serving.
+
+``service.query`` used to score *every* candidate region with the exact
+(bit-pinned) scorer on every request -- the right answer for a few hundred
+regions, the wrong shape for a metropolis.  :class:`VectorIndex` adds the
+missing first stage: retrieve a small top-M candidate set in sub-millisecond
+time, then let the existing exact scorer re-rank only the survivors.
+
+The index is built once per snapshot, from two frozen surfaces:
+
+* **Retrieval vectors** -- each region's *type-score row*: the exact scores
+  of every store type for that region, computed by the bit-pinned scorer at
+  build time and packed as one ``(T, N)`` float64 sheet.  A query for type
+  ``a`` is the one-hot vector ``e_a``, so retrieval scoring is a contiguous
+  row gather -- no model math on the hot path.
+* **Partition geometry** -- k-means over the pooled per-period region
+  embeddings (``concat_p h[p][s]``, the same arrays the exact scorer
+  gathers from).  Regions with similar embeddings score similarly for every
+  type, so embedding-space partitions are score-coherent and safe to prune.
+
+Two modes share the machinery:
+
+* ``flat`` -- exhaustive: scan the whole sheet row and return the true
+  top-M under the exact scores.  Because the sheet *is* the exact scorer's
+  output (same float64 bits), the retrieved set provably contains the true
+  top-k whenever ``M >= k``, and the re-ranked result is float-for-float
+  identical to the full scan (``tests/test_serve_index.py`` pins this).
+* ``ivf`` -- partitioned brute force: probe the ``nprobe`` partitions whose
+  best member scores highest for the queried type, scan only their members.
+  Probing by per-partition max guarantees recall@k = 1.0 whenever
+  ``nprobe >= k``; below that, recall is a knob (``nprobe``/``retrieve_m``),
+  measured against the full scan by ``benchmarks/bench_retrieval.py``.
+
+Everything is plain numpy and serialises as additional 64-byte-aligned
+segments in the :mod:`repro.serve.arena` container (keys prefixed
+``index__``), so an indexed arena still mmaps zero-copy, costs ~nothing
+extra to open, and hot-swaps atomically with its snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..topk import top_k_indices
+
+_INDEX_FORMAT_VERSION = 1
+_ARRAY_PREFIX = "index__"
+
+# Re-ranking batches below ~8 rows can hit different BLAS kernels than the
+# full-scan batch and perturb low-order bits; clamping keeps the flat-mode
+# float-for-float guarantee out of that regime.
+MIN_RERANK = 8
+
+
+# ----------------------------------------------------------------------
+# Deterministic k-means (build time only)
+# ----------------------------------------------------------------------
+def _assign(x: np.ndarray, centroids: np.ndarray, chunk: int = 8192) -> np.ndarray:
+    """Nearest-centroid assignment, chunked so N x K never materialises."""
+    c2 = (centroids * centroids).sum(axis=1)
+    out = np.empty(x.shape[0], dtype=np.int64)
+    for start in range(0, x.shape[0], chunk):
+        block = x[start:start + chunk]
+        # ||x-c||^2 = ||x||^2 - 2 x.c + ||c||^2; drop the per-row constant.
+        d = block @ centroids.T
+        d *= -2.0
+        d += c2
+        out[start:start + chunk] = np.argmin(d, axis=1)
+    return out
+
+
+def _kmeans(
+    x: np.ndarray, k: int, seed: int, iters: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Seeded Lloyd's with k-means++ init; returns (assignments, centroids)."""
+    n = x.shape[0]
+    rng = np.random.default_rng(seed)
+    k = max(1, min(int(k), n))
+
+    centroids = np.empty((k, x.shape[1]), dtype=np.float64)
+    centroids[0] = x[int(rng.integers(n))]
+    d2 = ((x - centroids[0]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = float(d2.sum())
+        if total <= 0.0:  # all remaining points coincide with a centroid
+            centroids[j:] = x[rng.integers(n, size=k - j)]
+            break
+        pick = int(rng.choice(n, p=d2 / total))
+        centroids[j] = x[pick]
+        np.minimum(d2, ((x - centroids[j]) ** 2).sum(axis=1), out=d2)
+
+    assign = _assign(x, centroids)
+    for _ in range(max(0, iters)):
+        # Sort + reduceat segment means (the repo's segment-kernel idiom):
+        # one O(n log n) sort replaces a slow element-wise scatter-add.
+        order = np.argsort(assign, kind="stable")
+        grouped = assign[order]
+        counts = np.bincount(grouped, minlength=k)
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        nonempty = counts > 0
+        sums = np.zeros_like(centroids)
+        if nonempty.any():
+            sums[nonempty] = np.add.reduceat(x[order], starts[nonempty], axis=0)
+            centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+        if (~nonempty).any():
+            # Reseed dead partitions onto the farthest points so no list
+            # stays empty while others bloat.
+            dist = ((x - centroids[assign]) ** 2).sum(axis=1)
+            far = np.argsort(-dist, kind="stable")[: int((~nonempty).sum())]
+            centroids[~nonempty] = x[far]
+        new_assign = _assign(x, centroids)
+        if np.array_equal(new_assign, assign):
+            break
+        assign = new_assign
+    return assign, centroids
+
+
+# ----------------------------------------------------------------------
+# The index
+# ----------------------------------------------------------------------
+class VectorIndex:
+    """Top-M candidate retrieval over a frozen snapshot's regions.
+
+    Immutable after construction (like the snapshot it belongs to), so it
+    is freely shared across serving threads and, via the arena, across
+    worker processes.  ``search`` returns candidate *positions* into the
+    snapshot's ``candidate_regions()`` order, sorted ascending so the
+    downstream re-rank keeps the full scan's duplicate-score tie-break.
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        sheet: np.ndarray,  # (T, N) exact scores, float64
+        centroids: np.ndarray,  # (K, P*d2) embedding-space centroids
+        probe_scores: np.ndarray,  # (K, T) per-partition max type scores
+        list_offsets: np.ndarray,  # (K+1,) int64 into list_members
+        list_members: np.ndarray,  # (N,) int64 positions, grouped by list
+        retrieve_m: int,
+        nprobe: int,
+        meta: Optional[dict] = None,
+    ) -> None:
+        if kind not in ("flat", "ivf"):
+            raise ValueError(f"unknown index kind {kind!r}")
+        self.kind = kind
+        self.sheet = np.asarray(sheet, dtype=np.float64)
+        self.centroids = np.asarray(centroids, dtype=np.float64)
+        self.probe_scores = np.asarray(probe_scores, dtype=np.float64)
+        self.list_offsets = np.asarray(list_offsets, dtype=np.int64)
+        self.list_members = np.asarray(list_members, dtype=np.int64)
+        self.retrieve_m = int(retrieve_m)
+        self.nprobe = int(nprobe)
+        self.meta = dict(meta or {})
+        if self.retrieve_m < 1:
+            raise ValueError("retrieve_m must be >= 1")
+        if self.kind == "ivf" and self.nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+
+    # -- introspection --------------------------------------------------
+    @property
+    def num_types(self) -> int:
+        return self.sheet.shape[0]
+
+    @property
+    def num_candidates(self) -> int:
+        return self.sheet.shape[1]
+
+    @property
+    def num_partitions(self) -> int:
+        return max(self.list_offsets.shape[0] - 1, 0)
+
+    def nbytes(self) -> int:
+        return int(
+            self.sheet.nbytes
+            + self.centroids.nbytes
+            + self.probe_scores.nbytes
+            + self.list_offsets.nbytes
+            + self.list_members.nbytes
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Operational summary for ``service.stats()`` / the CLI."""
+        return {
+            "kind": self.kind,
+            "candidates": self.num_candidates,
+            "types": self.num_types,
+            "partitions": self.num_partitions,
+            "retrieve_m": self.retrieve_m,
+            "nprobe": self.nprobe,
+            "bytes": self.nbytes(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"VectorIndex(kind={self.kind}, candidates={self.num_candidates}, "
+            f"partitions={self.num_partitions}, retrieve_m={self.retrieve_m}, "
+            f"nprobe={self.nprobe})"
+        )
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        snapshot,
+        *,
+        kind: str = "ivf",
+        partitions: Optional[int] = None,
+        retrieve_m: int = 64,
+        nprobe: Optional[int] = None,
+        seed: int = 0,
+        iters: int = 15,
+        chunk: int = 65536,
+    ) -> "VectorIndex":
+        """Train an index over ``snapshot``'s candidate regions.
+
+        ``partitions`` defaults to ``round(sqrt(N))``; ``nprobe`` to a
+        quarter of the partitions, floored at ``min(16, partitions)``
+        (past the nprobe >= k exact-recall point for serving-sized k,
+        see ``BENCH_retrieval.json``).  ``chunk`` bounds the
+        score-sheet build batches; sheet rows are computed with the exact
+        scorer so flat-mode retrieval is provably lossless.
+        """
+        if kind not in ("flat", "ivf"):
+            raise ValueError(f"unknown index kind {kind!r}")
+        started = time.perf_counter()
+        n = snapshot.num_store_nodes
+        types = snapshot.num_types
+        if n < 1:
+            raise ValueError("snapshot has no candidate regions to index")
+
+        # The exact score sheet: one bit-pinned scoring pass per type (the
+        # same _score_nodes batch shape service.query uses for a full
+        # scan), chunked only past ``chunk`` rows to bound build memory.
+        sheet = np.empty((types, n), dtype=np.float64)
+        positions = np.arange(n, dtype=np.int64)
+        for a in range(types):
+            type_col = np.full(min(chunk, n), a, dtype=np.int64)
+            for start in range(0, n, chunk):
+                block = positions[start:start + chunk]
+                sheet[a, start:start + chunk] = snapshot._score_nodes(
+                    block, type_col[: block.shape[0]]
+                )
+
+        if kind == "flat":
+            centroids = np.zeros((0, 0), dtype=np.float64)
+            probe_scores = np.zeros((0, types), dtype=np.float64)
+            list_offsets = np.zeros(1, dtype=np.int64)
+            list_members = np.zeros(0, dtype=np.int64)
+            k = 0
+        else:
+            # Pooled per-period embeddings: (N, P*d2), the same rows the
+            # exact scorer gathers -- partition geometry lives here.
+            pooled = np.ascontiguousarray(
+                np.transpose(snapshot.h, (1, 0, 2)).reshape(n, -1)
+            )
+            k = partitions if partitions is not None else round(math.sqrt(n))
+            k = max(1, min(int(k), n))
+            assign, centroids = _kmeans(pooled, k, seed=seed, iters=iters)
+            k = centroids.shape[0]
+            # Inverted lists: grouped by partition, positions ascending
+            # within each list (stable sort), so probed scans preserve the
+            # full scan's tie-break order.
+            order = np.argsort(assign, kind="stable")
+            list_members = positions[order]
+            counts = np.bincount(assign, minlength=k)
+            list_offsets = np.zeros(k + 1, dtype=np.int64)
+            np.cumsum(counts, out=list_offsets[1:])
+            # Probe order statistic: each partition's best exact score per
+            # type (empty partitions can never win a probe).  Max, not
+            # mean: every partition holding a true top-k member has max
+            # >= the k-th best score, so probing by max guarantees
+            # recall@k = 1.0 whenever nprobe >= k -- below that, nprobe
+            # trades recall for fewer lists scanned.
+            probe_scores = np.full((k, types), -np.inf, dtype=np.float64)
+            nonempty = counts > 0
+            starts = list_offsets[:-1]
+            for a in range(types):
+                row = sheet[a][list_members]
+                probe_scores[nonempty, a] = np.maximum.reduceat(
+                    row, starts[nonempty]
+                )
+
+        if nprobe is None:
+            # A quarter of the partitions, floored at min(16, k): probing
+            # by per-partition max makes recall@k exact once nprobe >= k,
+            # so the floor keeps the guarantee for serving-sized k even
+            # on small snapshots where k//4 would be tiny.
+            nprobe = max(k // 4, min(16, k)) if kind == "ivf" else 1
+        index = cls(
+            kind=kind,
+            sheet=sheet,
+            centroids=centroids,
+            probe_scores=probe_scores,
+            list_offsets=list_offsets,
+            list_members=list_members,
+            retrieve_m=retrieve_m,
+            nprobe=nprobe,
+            meta={
+                "seed": int(seed),
+                "iters": int(iters),
+                "build_s": time.perf_counter() - started,
+                "snapshot_id": snapshot.snapshot_id,
+            },
+        )
+        return index
+
+    # -- search ---------------------------------------------------------
+    def _probe_members(self, store_type: int, nprobe: int) -> np.ndarray:
+        """Positions in the ``nprobe`` best partitions, sorted ascending."""
+        col = self.probe_scores[:, store_type]
+        # K is ~sqrt(N): a full stable argsort is cheap and tolerates the
+        # -inf sentinels of empty partitions.
+        probed = np.argsort(-col, kind="stable")[: max(1, int(nprobe))]
+        pieces = [
+            self.list_members[self.list_offsets[p]:self.list_offsets[p + 1]]
+            for p in probed
+        ]
+        members = np.concatenate(pieces) if pieces else self.list_members[:0]
+        members.sort()
+        return members
+
+    def search(
+        self,
+        store_type: int,
+        m: Optional[int] = None,
+        *,
+        nprobe: Optional[int] = None,
+        keep: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Top-M candidate positions for ``store_type``, sorted ascending.
+
+        ``keep`` (optional boolean mask over candidate positions) drops
+        regions before selection -- the vectorised form of the service's
+        ``exclude_regions`` filter.  Flat mode (or ``ivf`` with ``nprobe``
+        >= partitions) returns the true top-M under the exact scores.
+        """
+        store_type = int(store_type)
+        if not 0 <= store_type < self.num_types:
+            raise KeyError(f"store type index {store_type} out of range")
+        m = self.retrieve_m if m is None else int(m)
+        if m < 1:
+            raise ValueError("retrieve_m must be >= 1")
+        row = self.sheet[store_type]
+        nprobe = self.nprobe if nprobe is None else int(nprobe)
+        exhaustive = (
+            self.kind == "flat"
+            or self.num_partitions == 0
+            or nprobe >= self.num_partitions
+        )
+        # Exhaustive scans skip the member gather entirely: the candidate
+        # set is dense 0..N-1 and already in full-scan tie-break order.
+        members = None if exhaustive else self._probe_members(store_type, nprobe)
+        if members is None:
+            if keep is not None:
+                members = np.flatnonzero(keep)
+            else:
+                if m >= row.shape[0]:
+                    return np.arange(row.shape[0], dtype=np.int64)
+                chosen = top_k_indices(row, m)
+                chosen.sort()
+                return chosen
+        elif keep is not None:
+            members = members[keep[members]]
+        if members.shape[0] == 0:
+            return members
+        if m >= members.shape[0]:
+            return members
+        chosen = members[top_k_indices(row[members], m)]
+        chosen.sort()
+        return chosen
+
+    def recall_against_full_scan(
+        self,
+        store_type: int,
+        k: int = 10,
+        *,
+        m: Optional[int] = None,
+        nprobe: Optional[int] = None,
+    ) -> float:
+        """Fraction of the true top-k that survives retrieval.
+
+        The sheet holds the exact scorer's outputs, so the reference top-k
+        is the full scan's; with an exact re-rank stage, final recall@k
+        equals this survival rate.
+        """
+        k = min(int(k), self.num_candidates)
+        truth = top_k_indices(self.sheet[int(store_type)], k)
+        survivors = self.search(store_type, m=m, nprobe=nprobe)
+        return float(np.isin(truth, survivors).mean()) if k else 1.0
+
+    # -- serialisation --------------------------------------------------
+    def meta_payload(self) -> dict:
+        return {
+            "format_version": _INDEX_FORMAT_VERSION,
+            "kind": self.kind,
+            "retrieve_m": self.retrieve_m,
+            "nprobe": self.nprobe,
+            "extra": self.meta,
+        }
+
+    def array_payload(self) -> Dict[str, np.ndarray]:
+        """Named arrays, ``index__``-prefixed so they ride along as extra
+        64B-aligned arena segments / ``.npz`` entries."""
+        return {
+            _ARRAY_PREFIX + "sheet": self.sheet,
+            _ARRAY_PREFIX + "centroids": self.centroids,
+            _ARRAY_PREFIX + "probe_scores": self.probe_scores,
+            _ARRAY_PREFIX + "list_offsets": self.list_offsets,
+            _ARRAY_PREFIX + "list_members": self.list_members,
+        }
+
+    @classmethod
+    def from_payload(cls, meta: dict, arrays) -> "VectorIndex":
+        version = int(meta["format_version"])
+        if version != _INDEX_FORMAT_VERSION:
+            raise ValueError(
+                f"index format {version} not supported "
+                f"(expected {_INDEX_FORMAT_VERSION})"
+            )
+        return cls(
+            kind=str(meta["kind"]),
+            sheet=arrays[_ARRAY_PREFIX + "sheet"],
+            centroids=arrays[_ARRAY_PREFIX + "centroids"],
+            probe_scores=arrays[_ARRAY_PREFIX + "probe_scores"],
+            list_offsets=arrays[_ARRAY_PREFIX + "list_offsets"],
+            list_members=arrays[_ARRAY_PREFIX + "list_members"],
+            retrieve_m=int(meta["retrieve_m"]),
+            nprobe=int(meta["nprobe"]),
+            meta=meta.get("extra"),
+        )

@@ -85,6 +85,7 @@ class ModelSnapshot:
         predictor_weights: Sequence[Tuple[np.ndarray, np.ndarray]],
         meta: Optional[dict] = None,
         snapshot_id: Optional[str] = None,
+        index=None,
     ) -> None:
         self.h = np.ascontiguousarray(h, dtype=np.float64)
         self.q = np.ascontiguousarray(q, dtype=np.float64)
@@ -109,6 +110,11 @@ class ModelSnapshot:
             for w, b in predictor_weights
         ]
         self.meta = dict(meta or {})
+        # Optional retrieval index (repro.serve.index.VectorIndex): the
+        # coarse stage of retrieve-then-rank serving.  Not part of the
+        # fingerprint -- it is derived state, rebuildable from the arrays
+        # above, so indexed and plain copies of one model share an id.
+        self.index = index
 
         self._store_index = {
             int(r): i for i, r in enumerate(self.store_regions)
@@ -231,6 +237,22 @@ class ModelSnapshot:
         return cls.from_model(model, meta=merged)
 
     # ------------------------------------------------------------------
+    # Retrieval index
+    # ------------------------------------------------------------------
+    def build_index(self, **kwargs):
+        """Train and attach a retrieval index over the candidate regions.
+
+        Keyword arguments go to :meth:`repro.serve.index.VectorIndex.build`
+        (``kind``, ``partitions``, ``retrieve_m``, ``nprobe``, ``seed``).
+        The index serialises with the snapshot in both file formats and is
+        the only post-construction mutation a snapshot allows.
+        """
+        from .index import VectorIndex
+
+        self.index = VectorIndex.build(self, **kwargs)
+        return self.index
+
+    # ------------------------------------------------------------------
     # Scoring (mirrors HeteroRecommender.forward bit-for-bit)
     # ------------------------------------------------------------------
     def _pair_indices(self, pairs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -324,6 +346,9 @@ class ModelSnapshot:
             "time_heads": self.time_heads,
             "num_predictor_layers": len(self.predictor_weights),
             "extra": self.meta,
+            # Optional retrieval-index metadata; readers that predate the
+            # index (or files that predate it) simply see no "index" key.
+            "index": None if self.index is None else self.index.meta_payload(),
         }
 
     def _array_payload(self) -> Dict[str, np.ndarray]:
@@ -340,6 +365,8 @@ class ModelSnapshot:
         for i, (w, b) in enumerate(self.predictor_weights):
             arrays[f"predictor_w_{i}"] = w
             arrays[f"predictor_b_{i}"] = b
+        if self.index is not None:
+            arrays.update(self.index.array_payload())
         return arrays
 
     @classmethod
@@ -354,6 +381,12 @@ class ModelSnapshot:
                 f"(expected {_SNAPSHOT_FORMAT_VERSION})"
             )
         time_attention = bool(meta["time_attention"])
+        index_meta = meta.get("index")
+        index = None
+        if index_meta is not None:
+            from .index import VectorIndex
+
+            index = VectorIndex.from_payload(index_meta, arrays)
         return cls(
             h=arrays["h"],
             q=arrays["q"],
@@ -377,6 +410,7 @@ class ModelSnapshot:
             ],
             meta=meta.get("extra"),
             snapshot_id=snapshot_id,
+            index=index,
         )
 
     def save(self, path: PathLike, format: str = "npz") -> Path:

@@ -61,8 +61,10 @@ SHARED_COUNTERS = (
     "batched_pairs",
     "reloads",
     "reload_errors",
+    "retrievals",
+    "retrieval_fallbacks",
 )
-SHARED_STAGES = ("total", "queue", "score")
+SHARED_STAGES = ("total", "queue", "score", "retrieve")
 
 
 # ----------------------------------------------------------------------
