@@ -35,12 +35,13 @@ import gc
 import hashlib
 import json
 import os
-import subprocess
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
+import common
 
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -152,6 +153,11 @@ def run_leg(leg: str, scale: float, steps: int) -> dict:
 # that feedback loop and keeps the reference allocation behaviour (every
 # multi-megabyte temporary is a fresh mmap + kernel page-zeroing + munmap)
 # stable and reproducible.
+#
+# Both legs pin ``O2_COMPILE_STEP=0``: this bench characterises the eager
+# memory plane, and the step compiler (default-on since it landed) would
+# otherwise pin captured tapes into the RSS numbers.  The compiled-vs-eager
+# comparison lives in bench_compile.py.
 LEG_ENV = {
     "ref": {
         "O2_BUFFER_POOL": "0",
@@ -159,34 +165,21 @@ LEG_ENV = {
         "MALLOC_MMAP_THRESHOLD_": "131072",
         "O2_NUM_THREADS": "1",
         "O2_MEM_PROFILE": "1",
+        "O2_COMPILE_STEP": "0",
     },
-    "pool": {"O2_BUFFER_POOL": "1", "O2_NUM_THREADS": "1", "O2_MEM_PROFILE": "1"},
+    "pool": {
+        "O2_BUFFER_POOL": "1",
+        "O2_NUM_THREADS": "1",
+        "O2_MEM_PROFILE": "1",
+        "O2_COMPILE_STEP": "0",
+    },
 }
 
 
 def spawn_leg(name: str, scale: float, steps: int) -> dict:
-    env = dict(os.environ)
-    env.update(LEG_ENV[name])
-    env["PYTHONPATH"] = str(ROOT / "src")
-    proc = subprocess.run(
-        [
-            sys.executable,
-            os.path.abspath(__file__),
-            "--leg",
-            name,
-            "--scale",
-            str(scale),
-            "--steps",
-            str(steps),
-        ],
-        env=env,
-        capture_output=True,
-        text=True,
-        cwd=str(ROOT),
+    return common.run_bench_leg(
+        __file__, name, ["--scale", scale, "--steps", steps], env=LEG_ENV[name]
     )
-    if proc.returncode != 0:
-        raise RuntimeError(f"{name} leg failed:\n{proc.stdout}\n{proc.stderr}")
-    return json.loads(proc.stdout.splitlines()[-1])
 
 
 # ---------------------------------------------------------------------------

@@ -38,13 +38,14 @@ import argparse
 import json
 import os
 import shutil
-import subprocess
 import sys
 import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
+
+import common
 
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -161,21 +162,10 @@ LEGS = {
 
 
 def spawn_leg(name: str, args: list, cache_dir: str | None = None) -> dict:
-    env = dict(os.environ)
-    env.update(LEGS[name])
+    env = dict(LEGS[name])
     if cache_dir is not None:
         env["O2_PIPELINE_CACHE"] = cache_dir
-    env["PYTHONPATH"] = str(ROOT / "src")
-    proc = subprocess.run(
-        [sys.executable, os.path.abspath(__file__), "--leg", name, *args],
-        env=env,
-        capture_output=True,
-        text=True,
-        cwd=str(ROOT),
-    )
-    if proc.returncode != 0:
-        raise RuntimeError(f"{name} leg failed:\n{proc.stdout}\n{proc.stderr}")
-    return json.loads(proc.stdout.splitlines()[-1])
+    return common.run_bench_leg(__file__, name, args, env=env)
 
 
 def run_leg(name: str, args: argparse.Namespace) -> dict:

@@ -35,11 +35,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import subprocess
 import sys
 import tempfile
 import time
 from pathlib import Path
+
+import common
 
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -315,18 +316,7 @@ LEGS = {
 
 
 def spawn_leg(name: str, extra: list) -> dict:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(ROOT / "src")
-    proc = subprocess.run(
-        [sys.executable, os.path.abspath(__file__), "--leg", name, *extra],
-        env=env,
-        capture_output=True,
-        text=True,
-        cwd=str(ROOT),
-    )
-    if proc.returncode != 0:
-        raise RuntimeError(f"{name} leg failed:\n{proc.stdout}\n{proc.stderr}")
-    return json.loads(proc.stdout.splitlines()[-1])
+    return common.run_bench_leg(__file__, name, extra)
 
 
 # ---------------------------------------------------------------------------

@@ -31,12 +31,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import subprocess
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
+import common
 
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -124,34 +125,22 @@ def run_leg(scale: float, steps: int) -> dict:
 LEG_ENV = {
     # The reference leg reproduces the pre-optimisation execution: in-tree
     # reference kernels, per-period serial propagation, untouched allocator.
-    "ref": {"O2_FAST_KERNELS": "0", "O2_MALLOC_TUNE": "0", "O2_NUM_THREADS": "1"},
-    "fast": {"O2_NUM_THREADS": "1"},
+    # Both legs pin O2_COMPILE_STEP=0 so the kernel/threading comparison
+    # stays eager-vs-eager; bench_compile.py owns the compiled-step story.
+    "ref": {
+        "O2_FAST_KERNELS": "0",
+        "O2_MALLOC_TUNE": "0",
+        "O2_NUM_THREADS": "1",
+        "O2_COMPILE_STEP": "0",
+    },
+    "fast": {"O2_NUM_THREADS": "1", "O2_COMPILE_STEP": "0"},
 }
 
 
 def spawn_leg(name: str, scale: float, steps: int) -> dict:
-    env = dict(os.environ)
-    env.update(LEG_ENV[name])
-    env["PYTHONPATH"] = str(ROOT / "src")
-    proc = subprocess.run(
-        [
-            sys.executable,
-            os.path.abspath(__file__),
-            "--leg",
-            name,
-            "--scale",
-            str(scale),
-            "--steps",
-            str(steps),
-        ],
-        env=env,
-        capture_output=True,
-        text=True,
-        cwd=str(ROOT),
+    return common.run_bench_leg(
+        __file__, name, ["--scale", scale, "--steps", steps], env=LEG_ENV[name]
     )
-    if proc.returncode != 0:
-        raise RuntimeError(f"{name} leg failed:\n{proc.stdout}\n{proc.stderr}")
-    return json.loads(proc.stdout.splitlines()[-1])
 
 
 # ---------------------------------------------------------------------------

@@ -10,12 +10,13 @@ pytest's capture.
 from __future__ import annotations
 
 import functools
+import json
 import os
+import subprocess
+import sys
 from pathlib import Path
 
-from repro.city import real_world_dataset
-from repro.experiments import HarnessConfig
-
+REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).parent / "results"
 
 # Benchmark scale knobs, overridable from the environment:
@@ -25,8 +26,12 @@ BENCH_ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
 BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "45"))
 
 
-def bench_harness() -> HarnessConfig:
+def bench_harness():
     """The harness configuration every model-comparison bench uses."""
+    # Deferred import: the standalone bench drivers import this module for
+    # run_bench_leg before PYTHONPATH necessarily exposes the package.
+    from repro.experiments import HarnessConfig
+
     return HarnessConfig(
         rounds=BENCH_ROUNDS,
         scale=BENCH_SCALE,
@@ -44,6 +49,8 @@ def motivation_city():
     simulated once and replayed from disk thereafter; the ``lru_cache``
     only deduplicates within a process.
     """
+    from repro.city import real_world_dataset
+
     return real_world_dataset(seed=7, scale=max(BENCH_SCALE, 0.7))
 
 
@@ -70,3 +77,31 @@ def emit(experiment_id: str, text: str) -> None:
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_bench_leg(script, leg: str, args=(), env=None) -> dict:
+    """Run one benchmark leg in a fresh interpreter and harvest its JSON.
+
+    The throughput drivers (``bench_train_throughput``, ``bench_memory``,
+    ``bench_compile``, ...) compare execution modes that are selected by
+    ``O2_*`` environment switches read at import time, so each leg must be
+    a brand-new process: the driver re-executes ``script`` with ``--leg
+    <name>`` plus ``args``, overlaying ``env`` on the inherited environment
+    and pinning ``PYTHONPATH`` to the in-tree package.  The leg prints a
+    single JSON object as its final stdout line; that object is returned.
+    Any non-zero exit raises with both output streams attached.
+    """
+    leg_env = dict(os.environ)
+    if env:
+        leg_env.update(env)
+    leg_env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, os.fspath(script), "--leg", leg, *map(str, args)],
+        env=leg_env,
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"{leg} leg failed:\n{proc.stdout}\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])

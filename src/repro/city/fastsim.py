@@ -31,16 +31,13 @@ because they *are* the pre-optimisation code).
 
 from __future__ import annotations
 
-import os
 from typing import Optional
+
+from ..runtime import env_flag
 
 __all__ = ["fast_sim_enabled", "set_fast_sim", "use_fast_sim"]
 
-_fast_sim = os.environ.get("O2_FAST_SIM", "1").strip().lower() not in (
-    "0",
-    "false",
-    "off",
-)
+_fast_sim = env_flag("O2_FAST_SIM", True)
 
 
 def fast_sim_enabled() -> bool:

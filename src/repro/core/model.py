@@ -39,6 +39,8 @@ from ..nn import Module
 from ..optim import mse_loss
 from ..parallel import parallel_map
 from ..tensor import Tensor, fast_kernels_enabled
+from ..tensor import plan as _plan
+from ..tensor.segment import invalidate_plans_for
 from .capacity import CourierCapacityModel
 from .recommender import CapacityEdgeFactors, HeteroRecommender
 
@@ -193,6 +195,33 @@ class O2SiteRec(Module):
         else:
             s_idx = np.zeros(0, dtype=np.int64)
         types = np.ascontiguousarray(pairs[:, 1])
+        if _plan.tracing():
+            # Compiled-step bind hook: ``pairs`` is (a no-copy view of) the
+            # plan's pinned batch buffer.  Per replay, re-derive the store
+            # and type index arrays in place -- validation included, so a
+            # bad region raises exactly like the eager path -- and drop any
+            # segment plans cached over their old contents.
+            lut = self._store_lut
+            parr = pairs
+
+            def _rebind_pair_indices() -> None:
+                regions = parr[:, 0]
+                if regions.size:
+                    bad = (regions < 0) | (regions >= len(lut))
+                    if not bad.any():
+                        s_new = lut[regions]
+                        bad = s_new < 0
+                    if bad.any():
+                        raise KeyError(
+                            f"region {int(regions[np.flatnonzero(bad)[0]])} "
+                            f"is not a store region"
+                        )
+                    np.copyto(s_idx, s_new)
+                np.copyto(types, parr[:, 1])
+                invalidate_plans_for(s_idx)
+                invalidate_plans_for(types)
+
+            _plan.record_bind(_rebind_pair_indices)
         self._pair_cache[key] = (pairs_in, s_idx, types)
         while len(self._pair_cache) > 8:
             self._pair_cache.popitem(last=False)

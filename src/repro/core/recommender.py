@@ -49,15 +49,13 @@ from ..tensor import (
     softmax,
     stack,
 )
+from ..tensor import plan as _plan
+from ..tensor.segment import invalidate_plans_for
 
 
-import os as _os
+from ..runtime import env_flag as _env_flag
 
-_batch_periods = _os.environ.get("O2_BATCH_PERIODS", "1").strip().lower() not in (
-    "0",
-    "false",
-    "off",
-)
+_batch_periods = _env_flag("O2_BATCH_PERIODS", True)
 
 
 def batch_periods_enabled() -> bool:
@@ -652,6 +650,22 @@ class HeteroRecommender(Module):
         a = np.asarray(pairs_type, dtype=np.int64)[None, :]
         idx_s = (s + offs * self.graph.num_store_nodes).reshape(-1)
         idx_a = (a + offs * self.graph.num_types).reshape(-1)
+        if _plan.tracing():
+            # Compiled-step bind hook: the pair arrays are refreshed in
+            # place per replay (see O2SiteRec._pair_indices), so recompute
+            # the offset arrays from them -- same expressions as above --
+            # and drop any segment plans built over the old contents.
+            ns, nt = self.graph.num_store_nodes, self.graph.num_types
+
+            def _rebind_offsets() -> None:
+                s2 = np.asarray(pairs_store_idx, dtype=np.int64)[None, :]
+                a2 = np.asarray(pairs_type, dtype=np.int64)[None, :]
+                np.copyto(idx_s, (s2 + offs * ns).reshape(-1))
+                np.copyto(idx_a, (a2 + offs * nt).reshape(-1))
+                invalidate_plans_for(idx_s)
+                invalidate_plans_for(idx_a)
+
+            _plan.record_bind(_rebind_offsets)
         self._offset_idx_cache[key] = (pairs_store_idx, pairs_type, idx_s, idx_a)
         while len(self._offset_idx_cache) > 8:
             self._offset_idx_cache.popitem(last=False)
@@ -672,6 +686,14 @@ class HeteroRecommender(Module):
             self._commercial_cache.move_to_end(key)
             return entry[2]
         value = Tensor(self._pair_commercial[pairs_store_idx, pairs_type])
+        if _plan.tracing():
+            dense = self._pair_commercial
+            vdata = value.data
+
+            def _rebind_commercial() -> None:
+                np.copyto(vdata, dense[pairs_store_idx, pairs_type])
+
+            _plan.record_bind(_rebind_commercial)
         self._commercial_cache[key] = (pairs_store_idx, pairs_type, value)
         while len(self._commercial_cache) > 8:
             self._commercial_cache.popitem(last=False)

@@ -15,8 +15,10 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..optim import Adam, CosineLR, StepLR, clip_grad_norm
-from ..runtime import tune_allocator
+from ..runtime import env_flag, tune_allocator
+from ..tensor.plan import CompiledStep
 from .model import O2SiteRec
+from .recommender import batch_periods_enabled
 
 
 @dataclass
@@ -35,6 +37,10 @@ class TrainConfig:
     verbose: bool = False
     # Optional learning-rate schedule: None (constant), "cosine" or "step".
     schedule: Optional[str] = None
+    # Trace-and-replay step compilation (see repro.tensor.plan).  None
+    # defers to the ``O2_COMPILE_STEP`` env switch (default on); replay is
+    # bit-identical to eager, so this is purely a throughput knob.
+    compile_step: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.schedule not in (None, "cosine", "step"):
@@ -83,6 +89,7 @@ class Trainer:
             )
         else:
             self.schedule = None
+        self._compiled: Optional[CompiledStep] = None
 
     def fit(self, pairs: np.ndarray, targets: np.ndarray) -> TrainResult:
         """Train on (region, type) pairs with normalised count targets."""
@@ -115,6 +122,41 @@ class Trainer:
         bad_epochs = 0
         stopped = cfg.epochs
 
+        compile_enabled = (
+            cfg.compile_step
+            if cfg.compile_step is not None
+            else env_flag("O2_COMPILE_STEP", True)
+        )
+        if compile_enabled:
+            self._compiled = CompiledStep(
+                loss_fn=lambda p, t: self.model.loss(p, t)[0],
+                parameters=self.model.parameters(),
+                optimizer=self.optimizer,
+                clip_fn=lambda: clip_grad_norm(
+                    self.model.parameters(), cfg.grad_clip
+                ),
+                # A plan is specialised on the training-mode dropout draws
+                # and the period-batching layout; recapture if either flips.
+                guard_fn=lambda: (self.model.training, batch_periods_enabled()),
+            )
+            # The captured tape will pin its buffers for the life of the
+            # plan; swap the arena to the matching malloc profile.
+            tune_allocator(profile="pinned")
+        try:
+            return self._fit_loop(
+                cfg, fit_pairs, fit_targets, val_pairs, val_targets, rng,
+                train_losses, val_losses, best_val, best_state, bad_epochs,
+                stopped,
+            )
+        finally:
+            if self._compiled is not None:
+                self._compiled.close()
+                self._compiled = None
+
+    def _fit_loop(
+        self, cfg, fit_pairs, fit_targets, val_pairs, val_targets, rng,
+        train_losses, val_losses, best_val, best_state, bad_epochs, stopped,
+    ) -> TrainResult:
         for epoch in range(cfg.epochs):
             self.model.train()
             epoch_loss = self._run_epoch(fit_pairs, fit_targets, rng)
@@ -166,6 +208,15 @@ class Trainer:
 
         total, count = 0.0, 0
         for batch_pairs, batch_targets in batch_data:
+            if self._compiled is not None:
+                # Capture-or-replay; both are full training steps.  None
+                # means this batch signature cannot be compiled -- run it
+                # eagerly below (fail-soft, bit-identical either way).
+                loss_val = self._compiled.step(batch_pairs, batch_targets)
+                if loss_val is not None:
+                    total += loss_val * len(batch_pairs)
+                    count += len(batch_pairs)
+                    continue
             self.optimizer.zero_grad()
             loss, _, _ = self.model.loss(batch_pairs, batch_targets)
             # Retire the tape as it is walked: intermediates (and their

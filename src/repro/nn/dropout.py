@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import Tensor
+from ..tensor import plan as _plan
 from . import init
 from .module import Module
 
@@ -27,4 +28,17 @@ class Dropout(Module):
             return x
         keep = 1.0 - self.p
         mask = (init.default_rng().random(x.shape) < keep) / keep
+        if _plan.tracing():
+            # Compiled-step replay draws the same number of variates from
+            # the same global stream in the same order as an eager step
+            # (thunks run in emission order), refreshing the captured mask
+            # in place -- so compiled and eager runs consume the RNG
+            # identically and stay bit-for-bit comparable.
+            shape = x.shape
+
+            def _redraw_mask() -> None:
+                r = init.default_rng().random(shape)
+                np.divide(r < keep, keep, out=mask)
+
+            _plan.emit_aux(_redraw_mask)
         return x * Tensor(mask)

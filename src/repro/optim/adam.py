@@ -62,6 +62,22 @@ class Adam(Optimizer):
             v_hat = v / b2t
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def capture_step(self):
+        """In-place update closure for the compiled step (see base class).
+
+        Always routes through :meth:`_step_inplace` -- with the pool off
+        too -- because the scratch path applies the identical FP sequence
+        as the reference expression while preserving ``p.data`` identity.
+        """
+
+        def _fn() -> None:
+            self._t += 1
+            self._step_inplace(
+                1.0 - self.beta1**self._t, 1.0 - self.beta2**self._t
+            )
+
+        return _fn
+
     def _step_inplace(self, b1t: float, b2t: float) -> None:
         if self._scratch is None:
             self._scratch = [

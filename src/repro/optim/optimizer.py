@@ -28,6 +28,18 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def capture_step(self) -> Optional[callable]:
+        """An in-place update closure for the compiled training step.
+
+        The step compiler (:mod:`repro.tensor.plan`) requires parameter
+        arrays to keep their identity across steps, so the closure must
+        update ``p.data`` in place -- the reference ``step`` paths that
+        rebind ``p.data`` cannot be replayed.  Subclasses with an in-place
+        update return a zero-argument callable; the ``None`` default makes
+        :class:`~repro.tensor.plan.CompiledStep` fall back to eager.
+        """
+        return None
+
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.

@@ -49,6 +49,10 @@ class SGD(Optimizer):
                 grad = v
             p.data = p.data - self.lr * grad
 
+    def capture_step(self):
+        """In-place update closure for the compiled step (see base class)."""
+        return self._step_inplace
+
     def _step_inplace(self) -> None:
         if self._scratch is None:
             self._scratch = [np.empty_like(p.data) for p in self.parameters]

@@ -17,9 +17,14 @@ training temporaries are recycled by :mod:`repro.tensor.pool` itself, so
 arena hoarding would only double-cache them: the lean profile keeps
 glibc's documented 128 KiB mmap threshold (pinned, so the dynamic
 threshold cannot drift it upward) and a small trim threshold, which lets
-pool evictions and bypassed buffers return to the OS promptly.  Applied by
-:class:`repro.core.trainer.Trainer` and the benchmarks; long-lived,
-memory-sensitive processes (e.g. the serving layer) simply do not call it.
+pool evictions and bypassed buffers return to the OS promptly.  When the
+step compiler is active the trainer retunes to a third, ``pinned``
+profile: the captured tape pins its pooled buffers anyway, so prompt
+trimming cannot lower RSS but does force an mmap/munmap plus kernel
+page-zeroing round trip on every replay's plain-numpy temporaries.
+Applied by :class:`repro.core.trainer.Trainer` and the benchmarks;
+long-lived, memory-sensitive processes (e.g. the serving layer) simply do
+not call it.
 
 The tuning is best-effort: on non-glibc platforms (musl, macOS, Windows)
 ``mallopt`` is absent or a no-op and the function reports ``False``.  Set
@@ -31,50 +36,101 @@ from __future__ import annotations
 import ctypes
 import os
 
-__all__ = ["tune_allocator", "allocator_tuned"]
+__all__ = ["env_flag", "env_int", "tune_allocator", "allocator_tuned"]
+
+# One truthiness convention for every O2_* switch: anything except an
+# explicit "0"/"false"/"off" counts as on (so O2_FLAG= and O2_FLAG=yes both
+# enable).  ``default`` supplies the unset value -- flags that default off
+# (e.g. O2_MEM_PROFILE) and flags that default on (e.g. O2_BUFFER_POOL)
+# share the same parser instead of each module inverting it by hand.
+_FALSY = ("0", "false", "off")
+
+
+def env_flag(name: str, default: bool = True) -> bool:
+    """Parse the boolean env switch ``name`` with the repo-wide convention."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return bool(default)
+    return raw.strip().lower() not in _FALSY
+
+
+def env_int(name: str, default: int) -> int:
+    """Parse the integer env knob ``name``; malformed values fall back.
+
+    Accepts float spellings (``O2_POOL_MAX_MB=0.5``) by truncation, matching
+    the historical pool-threshold parser.
+    """
+    raw = os.environ.get(name, "")
+    try:
+        return int(float(raw or default))
+    except ValueError:
+        return int(default)
 
 # From glibc's malloc.h; mallopt param numbers are ABI-stable.
 _M_TRIM_THRESHOLD = -1
 _M_MMAP_THRESHOLD = -3
 
-_tuned = False
+# Applied (mmap_threshold, trim_threshold), or None before the first tune.
+_tuned: "tuple[int, int] | None" = None
+
+# Named threshold profiles (mmap, trim); see tune_allocator.
+_PROFILES = {
+    # No pool: hoard the arena, recycle big temporaries in user space.
+    "hoard": (1 << 29, 1 << 29),
+    # Pool on: the pool is the only cache; give freed pages back promptly.
+    "lean": (131072, 1 << 20),
+    # Compiled step: the captured tape pins its pooled buffers for the
+    # life of the plan, so RSS is dominated by pinned memory and prompt
+    # trimming buys nothing.  Replays still make plain-numpy allocations
+    # above 128 KiB (segment-plan rebuilds, leaf-gradient copies); under
+    # the lean thresholds each costs an mmap/munmap round trip plus
+    # kernel page-zeroing *every replay*.  Keep them in the arena.
+    "pinned": (1 << 25, 1 << 25),
+}
 
 
 def allocator_tuned() -> bool:
-    """Whether :func:`tune_allocator` has successfully applied the tuning."""
-    return _tuned
+    """Whether :func:`tune_allocator` has successfully applied a tuning."""
+    return _tuned is not None
 
 
 def tune_allocator(
-    mmap_threshold: int | None = None, trim_threshold: int | None = None
+    mmap_threshold: int | None = None,
+    trim_threshold: int | None = None,
+    profile: str | None = None,
 ) -> bool:
-    """Tune glibc malloc for training (profile depends on the buffer pool).
+    """Tune glibc malloc for training (profile depends on the memory plane).
 
     Pool disabled: keep large freed buffers in the malloc arena instead of
-    unmapping (hoard profile).  Pool enabled: pin the documented default
+    unmapping (``hoard``).  Pool enabled: pin the documented default
     thresholds so non-pooled frees return to the OS and the pool stays the
-    only cache (lean profile).  Explicit arguments override the profile.
+    only cache (``lean``).  Step compiler active: the pinned tape already
+    dominates RSS, so retain replay-path temporaries too (``pinned``).
+    ``profile`` selects one by name; explicit thresholds override it.
 
-    Idempotent and fail-soft: returns ``True`` if the thresholds are (or
-    already were) applied, ``False`` when disabled via ``O2_MALLOC_TUNE=0``
-    or when the platform has no usable glibc ``mallopt``.
+    Idempotent per threshold pair and fail-soft: returns ``True`` if the
+    requested thresholds are (or already were) applied, ``False`` when
+    disabled via ``O2_MALLOC_TUNE=0`` or when the platform has no usable
+    glibc ``mallopt``.  Callers may retune: the last applied profile wins,
+    which lets a compiled-training phase hand a leaner arena back to a
+    serving phase in the same process.
     """
     global _tuned
-    if _tuned:
-        return True
-    if os.environ.get("O2_MALLOC_TUNE", "1").strip().lower() in ("0", "false", "off"):
+    if not env_flag("O2_MALLOC_TUNE", True):
         return False
     if mmap_threshold is None or trim_threshold is None:
-        from .tensor import pool as _pool
+        if profile is None:
+            from .tensor import pool as _pool
 
-        if _pool.buffer_pool_enabled():
-            lean_mmap, lean_trim = 131072, 1 << 20
-        else:
-            lean_mmap, lean_trim = 1 << 29, 1 << 29
+            profile = "lean" if _pool.buffer_pool_enabled() else "hoard"
+        prof_mmap, prof_trim = _PROFILES[profile]
         if mmap_threshold is None:
-            mmap_threshold = lean_mmap
+            mmap_threshold = prof_mmap
         if trim_threshold is None:
-            trim_threshold = lean_trim
+            trim_threshold = prof_trim
+    want = (int(mmap_threshold), int(trim_threshold))
+    if _tuned == want:
+        return True
     try:
         libc = ctypes.CDLL(None, use_errno=True)
         mallopt = libc.mallopt
@@ -82,8 +138,9 @@ def tune_allocator(
         return False
     mallopt.argtypes = (ctypes.c_int, ctypes.c_int)
     mallopt.restype = ctypes.c_int
-    ok = mallopt(_M_MMAP_THRESHOLD, int(mmap_threshold)) and mallopt(
-        _M_TRIM_THRESHOLD, int(trim_threshold)
+    ok = mallopt(_M_MMAP_THRESHOLD, want[0]) and mallopt(
+        _M_TRIM_THRESHOLD, want[1]
     )
-    _tuned = bool(ok)
-    return _tuned
+    if ok:
+        _tuned = want
+    return bool(ok)

@@ -4,8 +4,9 @@ The paper's reference implementation runs on PyTorch; this package is the
 self-contained replacement used by every model in the repository.
 """
 
-from . import cnative, memprof, pool
+from . import cnative, memprof, plan, pool
 from .grad_check import check_gradients, numerical_gradient
+from .plan import CompiledStep
 from .pool import (
     BufferPool,
     buffer_pool_enabled,
@@ -78,6 +79,8 @@ __all__ = [
     "use_fast_kernels",
     "pool",
     "memprof",
+    "plan",
+    "CompiledStep",
     "BufferPool",
     "global_pool",
     "buffer_pool_enabled",

@@ -41,6 +41,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import runtime as _runtime
 from . import pool as _pool
 
 __all__ = ["available", "lib", "set_c_kernels"]
@@ -218,11 +219,7 @@ _lock = threading.Lock()
 _lib: Optional[ctypes.CDLL] = None
 _tried = False
 
-_enabled = os.environ.get("O2_C_KERNELS", "1").strip().lower() not in (
-    "0",
-    "false",
-    "off",
-)
+_enabled = _runtime.env_flag("O2_C_KERNELS", True)
 
 
 def set_c_kernels(enabled: bool) -> bool:
@@ -325,7 +322,10 @@ def edge_fuse_fwd(
     extras,  # sequence of (values (Ni, F), idx (E,)) pairs, up to 2
     eproj: Optional[np.ndarray],
     bias: np.ndarray,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
+    """Fused gather+add+relu; ``out`` lets plan replay reuse its pinned
+    buffer (the kernel overwrites every element, no zeroing needed)."""
     lib_ = lib()
     assert lib_ is not None
     E = src.shape[0]
@@ -333,7 +333,8 @@ def edge_fuse_fwd(
     a = [(None, None), (None, None)]
     for k, (vals, idx) in enumerate(extras):
         a[k] = (vals, idx)
-    out = _pool.empty((E, F), tag="c-edge-fwd")
+    if out is None:
+        out = _pool.empty((E, F), tag="c-edge-fwd")
     lib_.edge_fuse_fwd(
         _ptr_d(pre),
         _ptr_i(src),
@@ -391,14 +392,21 @@ def seg_att_fwd(
     plan,
     scale: float,
     slope: float,
+    out=None,
 ):
+    """Fused attention forward; ``out`` is an optional ``(weights, leaky,
+    agg)`` triple of caller buffers for plan replay.  ``agg`` is
+    accumulated into, so the caller must hand it over zeroed."""
     lib_ = lib()
     assert lib_ is not None
     E, H, hd = keys.shape
     N = q.shape[0]
-    weights = _pool.empty((E, H), tag="c-att-w")
-    leaky = _pool.empty((E, H), tag="c-att-leaky")
-    agg = _pool.zeros((N, H * hd), tag="c-att-agg")
+    if out is not None:
+        weights, leaky, agg = out
+    else:
+        weights = _pool.empty((E, H), tag="c-att-w")
+        leaky = _pool.empty((E, H), tag="c-att-leaky")
+        agg = _pool.zeros((N, H * hd), tag="c-att-agg")
     lib_.seg_att_fwd(
         _ptr_d(keys), _ptr_d(q), _ptr_i(plan.perm), _ptr_i(plan.starts),
         _ptr_i(plan.occupied), plan.starts.shape[0], E, H, hd,

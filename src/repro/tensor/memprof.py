@@ -25,6 +25,8 @@ import os
 import threading
 from typing import Dict, Optional
 
+from .. import runtime as _runtime
+
 __all__ = [
     "enabled",
     "set_mem_profile",
@@ -37,11 +39,7 @@ __all__ = [
     "peak_rss_bytes",
 ]
 
-_enabled = os.environ.get("O2_MEM_PROFILE", "0").strip().lower() in (
-    "1",
-    "true",
-    "on",
-)
+_enabled = _runtime.env_flag("O2_MEM_PROFILE", False)
 
 _lock = threading.Lock()
 # tag -> [count, bytes]; mutated under _lock (forward ops may run threaded).
@@ -137,6 +135,8 @@ def report() -> dict:
         }
     total_bytes = sum(v["bytes"] for v in allocs.values())
     total_count = sum(v["count"] for v in allocs.values())
+    from . import plan as _plan  # local import: plan imports pool
+
     return {
         "enabled": _enabled,
         "allocs": allocs,
@@ -144,6 +144,7 @@ def report() -> dict:
         "total_alloc_count": total_count,
         "pool": _pool.global_pool().stats(),
         "pool_enabled": _pool.buffer_pool_enabled(),
+        "plan": _plan.plan_stats(),
         "current_rss_bytes": current_rss_bytes(),
         "peak_rss_bytes": peak_rss_bytes(),
     }
@@ -163,6 +164,15 @@ def format_report(snapshot: Optional[dict] = None) -> str:
         f"  rss: current={snap['current_rss_bytes'] / 1e6:.1f} MB "
         f"peak={snap['peak_rss_bytes'] / 1e6:.1f} MB",
     ]
+    plan = snap.get("plan")
+    if plan is not None and (plan["captures"] or plan["eager_fallbacks"]):
+        lines.insert(
+            2,
+            f"  plan: captures={plan['captures']} replays={plan['replays']} "
+            f"eager_fallbacks={plan['eager_fallbacks']} "
+            f"evictions={plan['guard_evictions']} "
+            f"pinned={plan['pinned_bytes'] / 1e6:.1f} MB",
+        )
     ranked = sorted(
         snap["allocs"].items(), key=lambda kv: kv[1]["bytes"], reverse=True
     )

@@ -30,6 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from . import cnative as _cnative
+from . import plan as _plan
 from . import pool as _pool
 from . import segment as _segment
 from .segment import get_plan
@@ -54,7 +55,11 @@ def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
         pieces = np.split(grad, splits, axis=axis)
         return tuple(zip(ts, pieces))
 
-    return Tensor(data, parents=tuple(ts), backward=backward)
+    result = Tensor(data, parents=tuple(ts), backward=backward)
+    if _plan._TRACE is not None:
+        dst = result.data
+        _plan.emit(lambda: np.concatenate(datas, axis=axis, out=dst))
+    return result
 
 
 def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
@@ -68,7 +73,12 @@ def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
             (t, np.squeeze(piece, axis=axis)) for t, piece in zip(ts, pieces)
         )
 
-    return Tensor(data, parents=tuple(ts), backward=backward)
+    result = Tensor(data, parents=tuple(ts), backward=backward)
+    if _plan._TRACE is not None:
+        srcs = [t.data for t in ts]
+        dst = result.data
+        _plan.emit(lambda: np.stack(srcs, axis=axis, out=dst))
+    return result
 
 
 def gather_rows(tensor: ArrayLike, indices: np.ndarray) -> Tensor:
@@ -88,9 +98,17 @@ def gather_rows(tensor: ArrayLike, indices: np.ndarray) -> Tensor:
         np.add.at(full, idx, grad)
         return ((t, full),)
 
-    return Tensor(
+    result = Tensor(
         _pool.take_rows(t.data, idx, tag="gather"), parents=(t,), backward=backward
     )
+    if _plan._TRACE is not None:
+        # ``idx`` is the caller's int64 array object (asarray is a no-copy
+        # for int64 input): batch-dependent index arrays are refreshed in
+        # place by the plan's bind hooks before this thunk runs, and the
+        # backward closure's get_plan() rebuilds over the new contents.
+        src, dst = t.data, result.data
+        _plan.emit(lambda: np.take(src, idx, axis=0, out=dst, mode="clip"))
+    return result
 
 
 def gather_rows_reference(tensor: ArrayLike, indices: np.ndarray) -> Tensor:
@@ -104,7 +122,11 @@ def gather_rows_reference(tensor: ArrayLike, indices: np.ndarray) -> Tensor:
         np.add.at(full, idx, grad)
         return ((t, full),)
 
-    return Tensor(t.data[idx], parents=(t,), backward=backward)
+    result = Tensor(t.data[idx], parents=(t,), backward=backward)
+    if _plan._TRACE is not None:
+        src, dst = t.data, result.data
+        _plan.emit(lambda: np.copyto(dst, src[idx]))
+    return result
 
 
 def _check_segment_lengths(ids: np.ndarray, t: Tensor) -> None:
@@ -129,7 +151,20 @@ def segment_sum(data: ArrayLike, segment_ids: np.ndarray, num_segments: int) -> 
     def backward(grad: np.ndarray):
         return ((t, _pool.take_rows(grad, ids, tag="segsum-bwd")),)
 
-    return Tensor(result, parents=(t,), backward=backward)
+    out = Tensor(result, parents=(t,), backward=backward)
+    if _plan._TRACE is not None:
+        src, dst = t.data, out.data
+        if _segment.fast_kernels_enabled():
+            plan = get_plan(ids, num_segments)
+            _plan.emit(lambda: np.copyto(dst, plan.sum(src)))
+        else:
+
+            def _replay_segsum():
+                dst.fill(0.0)
+                np.add.at(dst, ids, src)
+
+            _plan.emit(_replay_segsum)
+    return out
 
 
 def segment_sum_reference(
@@ -145,7 +180,16 @@ def segment_sum_reference(
     def backward(grad: np.ndarray):
         return ((t, grad[ids]),)
 
-    return Tensor(result, parents=(t,), backward=backward)
+    out = Tensor(result, parents=(t,), backward=backward)
+    if _plan._TRACE is not None:
+        src, dst = t.data, out.data
+
+        def _replay_segsum_ref():
+            dst.fill(0.0)
+            np.add.at(dst, ids, src)
+
+        _plan.emit(_replay_segsum_ref)
+    return out
 
 
 def segment_counts(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
@@ -220,7 +264,24 @@ def segment_softmax(
         local = np.multiply(weights, diff, out=diff if pooled else None)
         return ((t, local[:, 0] if squeeze else local),)
 
-    return Tensor(value, parents=(t,), backward=backward)
+    out = Tensor(value, parents=(t,), backward=backward)
+    if _plan._TRACE is not None:
+        # ``data`` is a view of (or is) the parent's buffer, refreshed by
+        # the parent's thunk; ``weights_sorted``/``weights`` are what the
+        # backward closure and the output (a view of ``weights``) read.
+        def _replay_segsm():
+            ss = plan.sort(data)
+            sm = plan.spread_runs(plan.max_sorted(ss))
+            sh = np.subtract(ss, sm, out=sm if pooled else None)
+            ex = np.exp(sh, out=sh if pooled else None)
+            sps = plan.spread_runs(plan.sum_sorted(ex))
+            ws = np.divide(ex, sps, out=ex if pooled else None)
+            np.copyto(weights_sorted, ws)
+            if weights is not weights_sorted:
+                np.copyto(weights, plan.unsort(ws))
+
+        _plan.emit(_replay_segsm)
+    return out
 
 
 def segment_softmax_reference(
@@ -253,7 +314,19 @@ def segment_softmax_reference(
         local = weights * (g - weighted[ids])
         return ((t, local[:, 0] if squeeze else local),)
 
-    return Tensor(value, parents=(t,), backward=backward)
+    out = Tensor(value, parents=(t,), backward=backward)
+    if _plan._TRACE is not None:
+
+        def _replay_segsm_ref():
+            seg_max = np.full((num_segments, data.shape[1]), -np.inf)
+            np.maximum.at(seg_max, ids, data)
+            exp = np.exp(data - seg_max[ids])
+            seg_sum = np.zeros((num_segments, data.shape[1]), dtype=np.float64)
+            np.add.at(seg_sum, ids, exp)
+            np.copyto(weights, exp / seg_sum[ids])
+
+        _plan.emit(_replay_segsm_ref)
+    return out
 
 
 def edge_message_value(
@@ -344,6 +417,11 @@ def edge_message(
             value, 0, out=_pool.out_buffer(value.shape, np.bool_, tag="edge-msg-mask")
         )
         saved_value = None
+        if _plan._TRACE is not None:
+            # Under a trace the replay thunk pins (and refreshes) the value
+            # buffer anyway, so backward may read it in place of a float
+            # cast of the mask -- the C kernel only tests ``> 0`` on it.
+            saved_value = value
     else:
         pos_mask = None
         saved_value = value
@@ -379,7 +457,22 @@ def edge_message(
                 out.append((t_b, gbias))
             return out
 
-        return Tensor(value, parents=parents, backward=backward_c)
+        result = Tensor(value, parents=parents, backward=backward_c)
+        if _plan._TRACE is not None:
+            extras_rep = [(t.data, i) for t, i in zip(t_x, x_idx)]
+            pre_arr = t_p.data
+            e_arr = t_e.data if t_e is not None else None
+            b_arr = t_b.data
+
+            def _replay_edge_msg_c():
+                _cnative.edge_fuse_fwd(
+                    pre_arr, idx, extras_rep, e_arr, b_arr, out=value
+                )
+                if pos_mask is not None:
+                    np.greater(value, 0, out=pos_mask)
+
+            _plan.emit(_replay_edge_msg_c)
+        return result
 
     def backward(grad: np.ndarray):
         m = pos_mask if pos_mask is not None else saved_value > 0
@@ -409,7 +502,30 @@ def edge_message(
             out.append((t_b, gmask.sum(axis=0)))
         return out
 
-    return Tensor(value, parents=parents, backward=backward)
+    result = Tensor(value, parents=parents, backward=backward)
+    if _plan._TRACE is not None:
+        extras_rep = [(t.data, i) for t, i in zip(t_x, x_idx)]
+        pre_arr = t_p.data
+        e_arr = t_e.data if t_e is not None else None
+        b_arr = t_b.data
+
+        def _replay_edge_msg():
+            # edge_message_value, replayed into the recorded output: the
+            # in-place ufunc chain is value-identical to the fresh
+            # allocations of the reference path.
+            np.take(pre_arr, idx, axis=0, out=value, mode="clip")
+            for v, i in extras_rep:
+                gathered = _pool.take_rows(v, i, tag="edge-msg-x")
+                np.add(value, gathered, out=value)
+            if e_arr is not None:
+                np.add(value, e_arr, out=value)
+            np.add(value, b_arr, out=value)
+            np.maximum(value, 0.0, out=value)
+            if pos_mask is not None:
+                np.greater(value, 0, out=pos_mask)
+
+        _plan.emit(_replay_edge_msg)
+    return result
 
 
 def segment_attention(
@@ -483,6 +599,14 @@ def segment_attention(
         # matmul on the same operands is bit-identical, and the keys
         # buffer recycles mid-forward into the next relation's borrow.
         saved_keys = None if pooled else keys
+        saved_f = None
+        if _plan._TRACE is not None:
+            # Under a trace the keys buffer and the fused input are pinned
+            # (and refreshed) by their replay thunks, so the checkpoint
+            # recompute would rebuild bytes that are already sitting there:
+            # read them directly instead.  Bit-identical either way.
+            saved_keys = keys
+            saved_f = t_f.data
 
         def backward_c(grad: np.ndarray):
             gout = np.multiply(
@@ -522,11 +646,37 @@ def segment_attention(
                     )
                     out.append((t_f, g_f))
                 if t_w.requires_grad:
-                    fd = f if f is not None else t_f.data
+                    if f is not None:
+                        fd = f
+                    elif saved_f is not None:
+                        fd = saved_f
+                    else:
+                        fd = t_f.data
                     out.append((t_w, fd.T @ gk_flat))
             return out
 
-        return Tensor(value, parents=(t_f, t_w, t_q), backward=backward_c)
+        result = Tensor(value, parents=(t_f, t_w, t_q), backward=backward_c)
+        if _plan._TRACE is not None:
+            f_arr, w_arr, tq_arr = t_f.data, t_w.data, t_q.data
+            val = result.data
+
+            def _replay_segatt_c():
+                np.matmul(f_arr, w_arr, out=keys_flat)
+                if q_c is not tq_arr:
+                    np.copyto(q_c, tq_arr)
+                # The kernel accumulates the aggregation, so hand the
+                # pinned value buffer over zeroed and apply the relu in
+                # place afterwards -- same bytes as the recorded forward.
+                val.fill(0.0)
+                _cnative.seg_att_fwd(
+                    keys, q_c, plan, scale, negative_slope,
+                    out=(weights, leaky, val),
+                )
+                np.greater(val, 0, out=pos)
+                np.multiply(val, pos, out=val)
+
+            _plan.emit(_replay_segatt_c)
+        return result
 
     q_edge = _pool.take_rows(t_q.data, ids, tag="segatt-qedge")
     # einsum contracts without materialising the (E, H, hd) product.
@@ -563,6 +713,12 @@ def segment_attention(
     # (E, H, hd) arrays are recomputed in backward -- bit-identical ops on
     # operands that are still live -- instead of pinned until then.
     saved = None if pooled else (keys, q_edge)
+    saved_f = None
+    if _plan._TRACE is not None:
+        # Pinned and refreshed by the replay thunks; skip the backward
+        # recompute (see the compiled path above).
+        saved = (keys, q_edge)
+        saved_f = t_f.data
 
     def backward(grad: np.ndarray):
         f = None
@@ -633,11 +789,39 @@ def segment_attention(
                     ),
                 ))
             if t_w.requires_grad:
-                fd = f if f is not None else t_f.data
+                if f is not None:
+                    fd = f
+                elif saved_f is not None:
+                    fd = saved_f
+                else:
+                    fd = t_f.data
                 out.append((t_w, fd.T @ gk_flat))
         return out
 
-    return Tensor(value, parents=(t_f, t_w, t_q), backward=backward)
+    result = Tensor(value, parents=(t_f, t_w, t_q), backward=backward)
+    if _plan._TRACE is not None:
+        f_arr, w_arr, tq_arr = t_f.data, t_w.data, t_q.data
+        val = result.data
+
+        def _replay_segatt():
+            np.matmul(f_arr, w_arr, out=keys_flat)
+            np.take(tq_arr, ids, axis=0, out=q_edge, mode="clip")
+            s = np.einsum("ehd,ehd->eh", keys, q_edge)
+            s *= scale
+            np.copyto(leaky, np.where(s > 0, 1.0, negative_slope))
+            s *= leaky
+            ss = plan.sort(s)
+            sm = plan.spread_runs(plan.max_sorted(ss))
+            ex = np.exp(ss - sm)
+            sps = plan.spread_runs(plan.sum_sorted(ex))
+            np.copyto(weights, plan.unsort(np.divide(ex, sps, out=ex)))
+            wk = np.multiply(keys, weights[:, :, None])
+            a2 = plan.sum(wk.reshape(num_edges, out_dim))
+            np.greater(a2, 0, out=pos)
+            np.multiply(a2, pos, out=val)
+
+        _plan.emit(_replay_segatt)
+    return result
 
 
 def period_attention(
@@ -670,12 +854,12 @@ def period_attention(
     head_dim = dim // num_heads
 
     pooled = _pool.buffer_pool_enabled()
-    keys = np.matmul(
-        t.data, t_wk.data, out=_pool.out_buffer((pk, dim), tag="pattn-keys")
-    ).reshape(num_periods, k, num_heads, head_dim)
-    queries = np.matmul(
+    kf = np.matmul(t.data, t_wk.data, out=_pool.out_buffer((pk, dim), tag="pattn-keys"))
+    keys = kf.reshape(num_periods, k, num_heads, head_dim)
+    qf = np.matmul(
         t.data, t_wq.data, out=_pool.out_buffer((pk, dim), tag="pattn-queries")
-    ).reshape(num_periods, k, num_heads, head_dim)
+    )
+    queries = qf.reshape(num_periods, k, num_heads, head_dim)
     scores = np.einsum(
         "pkhd,pkhd->pkh",
         keys,
@@ -765,7 +949,25 @@ def period_attention(
             out.append((t_wq, t.data.T @ gq))
         return out
 
-    return Tensor(value, parents=(t, t_wk, t_wq), backward=backward), weights
+    result = Tensor(value, parents=(t, t_wk, t_wq), backward=backward)
+    if _plan._TRACE is not None:
+        t_arr, wk_arr, wq_arr = t.data, t_wk.data, t_wq.data
+        val = result.data
+
+        def _replay_pattn():
+            np.matmul(t_arr, wk_arr, out=kf)
+            np.matmul(t_arr, wq_arr, out=qf)
+            s = np.einsum("pkhd,pkhd->pkh", keys, queries)
+            s *= scale
+            ex = np.exp(s - s.max(axis=0, keepdims=True))
+            np.copyto(weights, np.divide(ex, ex.sum(axis=0, keepdims=True), out=ex))
+            m2 = np.einsum("pkhd,pkh->khd", keys, weights)
+            of = m2.reshape(k, dim)
+            np.greater(of, 0, out=pos)
+            np.multiply(of, pos, out=val)
+
+        _plan.emit(_replay_pattn)
+    return result, weights
 
 
 def softmax(tensor: ArrayLike, axis: int = -1) -> Tensor:
@@ -779,7 +981,16 @@ def softmax(tensor: ArrayLike, axis: int = -1) -> Tensor:
         inner = (grad * value).sum(axis=axis, keepdims=True)
         return ((t, value * (grad - inner)),)
 
-    return Tensor(value, parents=(t,), backward=backward)
+    out = Tensor(value, parents=(t,), backward=backward)
+    if _plan._TRACE is not None:
+        x = t.data
+
+        def _recompute_softmax():
+            e = np.exp(x - x.max(axis=axis, keepdims=True))
+            return e / e.sum(axis=axis, keepdims=True)
+
+        _plan.emit_refresh(value, _recompute_softmax)
+    return out
 
 
 def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -793,9 +1004,13 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
             (tb, unbroadcast(np.where(cond, 0.0, grad), tb.shape)),
         )
 
-    return Tensor(
+    result = Tensor(
         np.where(cond, ta.data, tb.data), parents=(ta, tb), backward=backward
     )
+    if _plan._TRACE is not None:
+        xa, xb, dst = ta.data, tb.data, result.data
+        _plan.emit(lambda: np.copyto(dst, np.where(cond, xa, xb)))
+    return result
 
 
 def zeros(*shape: int, requires_grad: bool = False) -> Tensor:

@@ -63,7 +63,6 @@ reference allocation path bit for bit and byte for byte.
 
 from __future__ import annotations
 
-import os
 import threading
 import weakref
 from bisect import bisect_left, insort
@@ -71,6 +70,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import runtime as _runtime
 from . import memprof as _memprof
 
 __all__ = [
@@ -86,16 +86,9 @@ __all__ = [
 ]
 
 
-def _env_int(name: str, default: int) -> int:
-    try:
-        return int(float(os.environ.get(name, "") or default))
-    except ValueError:
-        return default
-
-
-_MIN_BYTES = _env_int("O2_POOL_MIN_BYTES", 4096)
-_MAX_IDLE_BYTES = _env_int("O2_POOL_MAX_MB", 512) * (1 << 20)
-_TRIM_AGE = _env_int("O2_POOL_TRIM_AGE", 4096)
+_MIN_BYTES = _runtime.env_int("O2_POOL_MIN_BYTES", 4096)
+_MAX_IDLE_BYTES = _runtime.env_int("O2_POOL_MAX_MB", 512) * (1 << 20)
+_TRIM_AGE = _runtime.env_int("O2_POOL_TRIM_AGE", 4096)
 _TRIM_EVERY = 256  # recycles between trim sweeps
 _RECLAIM_GUARD = 2048  # borrows a block must sit idle before reclaim-on-miss:
 # larger than one training step's borrow span, so the cycling working set
@@ -364,11 +357,7 @@ def global_pool() -> BufferPool:
 # ----------------------------------------------------------------------
 # Enable switch (mirrors segment.set_fast_kernels).
 # ----------------------------------------------------------------------
-_enabled = os.environ.get("O2_BUFFER_POOL", "1").strip().lower() not in (
-    "0",
-    "false",
-    "off",
-)
+_enabled = _runtime.env_flag("O2_BUFFER_POOL", True)
 
 
 def buffer_pool_enabled() -> bool:

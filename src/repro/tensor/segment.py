@@ -29,13 +29,13 @@ pre-plan reference kernels.
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
 
+from .. import runtime as _runtime
 from . import pool as _pool
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "get_plan",
     "plan_cache_info",
     "clear_plan_cache",
+    "invalidate_plans_for",
     "fast_kernels_enabled",
     "set_fast_kernels",
     "use_fast_kernels",
@@ -245,14 +246,27 @@ def clear_plan_cache() -> None:
         _plan_misses = 0
 
 
+def invalidate_plans_for(array: np.ndarray) -> int:
+    """Drop every cached plan built over ``array`` (matched by identity).
+
+    The cache's immutability contract has one sanctioned exception: the
+    compiled-step bind hooks refresh batch-derived index arrays *in
+    place* at replay (see :mod:`repro.tensor.plan`).  They call this
+    first, so backward closures rebuild plans over the new contents —
+    exactly what eager execution does for each fresh batch array.
+    """
+    dead = 0
+    with _plan_lock:
+        for key in [k for k, e in _plan_cache.items() if e[0] is array]:
+            del _plan_cache[key]
+            dead += 1
+    return dead
+
+
 # ----------------------------------------------------------------------
 # Fast-path switch.
 # ----------------------------------------------------------------------
-_fast_enabled = os.environ.get("O2_FAST_KERNELS", "1").strip().lower() not in (
-    "0",
-    "false",
-    "off",
-)
+_fast_enabled = _runtime.env_flag("O2_FAST_KERNELS", True)
 
 
 def fast_kernels_enabled() -> bool:

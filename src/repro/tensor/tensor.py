@@ -26,6 +26,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import plan as _plan
 from . import pool as _pool
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -86,6 +87,15 @@ def _accumulate_leaf(node: "Tensor", node_grad: np.ndarray, pooled: bool) -> Non
         node.grad = node.grad + node_grad
 
 
+def _emit_ufunc2(ufunc, x: np.ndarray, y: np.ndarray, dst: np.ndarray) -> None:
+    """Step-capture thunk for a binary ufunc: same kernel, out= in place."""
+    _plan.emit(lambda: ufunc(x, y, out=dst))
+
+
+def _emit_ufunc1(ufunc, x: np.ndarray, dst: np.ndarray) -> None:
+    _plan.emit(lambda: ufunc(x, out=dst))
+
+
 class Tensor:
     """A numpy array plus the bookkeeping for reverse-mode autodiff."""
 
@@ -117,6 +127,10 @@ class Tensor:
         self._parents: Tuple[Tensor, ...] = tuple(parents)
         self._backward: Optional[BackwardRule] = backward
         self.name = name
+        if backward is not None and _plan._TRACE is not None:
+            # Step capture coverage: every tape node must be matched by a
+            # replay-thunk emission at its op site (see repro.tensor.plan).
+            _plan._TRACE.count_node()
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -314,7 +328,10 @@ class Tensor:
         value = np.add(
             a.data, b.data, out=_pool.out_buffer(_bshape(a.data, b.data), tag="add")
         )
-        return Tensor(value, parents=(a, b), backward=backward)
+        out = Tensor(value, parents=(a, b), backward=backward)
+        if _plan._TRACE is not None:
+            _emit_ufunc2(np.add, a.data, b.data, out.data)
+        return out
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
         return self.__add__(other)
@@ -337,7 +354,10 @@ class Tensor:
         value = np.subtract(
             a.data, b.data, out=_pool.out_buffer(_bshape(a.data, b.data), tag="sub")
         )
-        return Tensor(value, parents=(a, b), backward=backward)
+        out = Tensor(value, parents=(a, b), backward=backward)
+        if _plan._TRACE is not None:
+            _emit_ufunc2(np.subtract, a.data, b.data, out.data)
+        return out
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other).__sub__(self)
@@ -367,7 +387,10 @@ class Tensor:
         value = np.multiply(
             a.data, b.data, out=_pool.out_buffer(_bshape(a.data, b.data), tag="mul")
         )
-        return Tensor(value, parents=(a, b), backward=backward)
+        out = Tensor(value, parents=(a, b), backward=backward)
+        if _plan._TRACE is not None:
+            _emit_ufunc2(np.multiply, a.data, b.data, out.data)
+        return out
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
         return self.__mul__(other)
@@ -392,7 +415,10 @@ class Tensor:
         value = np.divide(
             a.data, b.data, out=_pool.out_buffer(_bshape(a.data, b.data), tag="div")
         )
-        return Tensor(value, parents=(a, b), backward=backward)
+        out = Tensor(value, parents=(a, b), backward=backward)
+        if _plan._TRACE is not None:
+            _emit_ufunc2(np.divide, a.data, b.data, out.data)
+        return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other).__truediv__(self)
@@ -405,7 +431,10 @@ class Tensor:
             return ((a, neg),)
 
         value = np.negative(a.data, out=_pool.out_buffer(a.shape, tag="neg"))
-        return Tensor(value, parents=(a,), backward=backward)
+        out = Tensor(value, parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            _emit_ufunc1(np.negative, a.data, out.data)
+        return out
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -415,7 +444,13 @@ class Tensor:
         def backward(grad: np.ndarray):
             return ((a, grad * exponent * a.data ** (exponent - 1)),)
 
-        return Tensor(a.data**exponent, parents=(a,), backward=backward)
+        out = Tensor(a.data**exponent, parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            # ``**`` takes numpy's scalar-power fast paths (x*x for 2 etc.);
+            # re-running the original expression keeps that bit-for-bit.
+            x, dst = a.data, out.data
+            _plan.emit(lambda: np.copyto(dst, x**exponent))
+        return out
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         return self.matmul(other)
@@ -478,7 +513,14 @@ class Tensor:
             )
         else:
             value = a.data @ b.data
-        return Tensor(value, parents=(a, b), backward=backward)
+        out = Tensor(value, parents=(a, b), backward=backward)
+        if _plan._TRACE is not None:
+            x, y, dst = a.data, b.data, out.data
+            if x.ndim == 2 and y.ndim == 2:
+                _plan.emit(lambda: np.matmul(x, y, out=dst))
+            else:
+                _plan.emit(lambda: np.copyto(dst, x @ y))
+        return out
 
     # ------------------------------------------------------------------
     # Elementwise functions
@@ -493,7 +535,14 @@ class Tensor:
             )
             return ((a, g),)
 
-        return Tensor(value, parents=(a,), backward=backward)
+        out = Tensor(value, parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            # The closure reads the captured ``value``; refresh that object.
+            if isinstance(value, np.ndarray):
+                _emit_ufunc1(np.exp, a.data, value)
+            else:
+                _plan.poison("exp of a 0-d tensor")
+        return out
 
     def log(self) -> "Tensor":
         a = self
@@ -501,7 +550,10 @@ class Tensor:
         def backward(grad: np.ndarray):
             return ((a, grad / a.data),)
 
-        return Tensor(np.log(a.data), parents=(a,), backward=backward)
+        out = Tensor(np.log(a.data), parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            _emit_ufunc1(np.log, a.data, out.data)
+        return out
 
     def sqrt(self) -> "Tensor":
         return self**0.5
@@ -512,7 +564,10 @@ class Tensor:
         def backward(grad: np.ndarray):
             return ((a, grad * np.sign(a.data)),)
 
-        return Tensor(np.abs(a.data), parents=(a,), backward=backward)
+        out = Tensor(np.abs(a.data), parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            _emit_ufunc1(np.absolute, a.data, out.data)
+        return out
 
     def relu(self) -> "Tensor":
         a = self
@@ -529,7 +584,19 @@ class Tensor:
         value = np.multiply(
             a.data, mask, out=_pool.out_buffer(a.shape, tag="relu")
         )
-        return Tensor(value, parents=(a,), backward=backward)
+        out = Tensor(value, parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            if isinstance(mask, np.ndarray):
+                x, dst = a.data, out.data
+
+                def _replay_relu():
+                    np.greater(x, 0, out=mask)
+                    np.multiply(x, mask, out=dst)
+
+                _plan.emit(_replay_relu)
+            else:
+                _plan.poison("relu of a 0-d tensor")
+        return out
 
     def leaky_relu(self, slope: float = 0.2) -> "Tensor":
         a = self
@@ -544,7 +611,19 @@ class Tensor:
         value = np.multiply(
             a.data, scale, out=_pool.out_buffer(a.shape, tag="lrelu")
         )
-        return Tensor(value, parents=(a,), backward=backward)
+        out = Tensor(value, parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            if isinstance(scale, np.ndarray):
+                x, dst = a.data, out.data
+
+                def _replay_lrelu():
+                    np.copyto(scale, np.where(x > 0, 1.0, slope))
+                    np.multiply(x, scale, out=dst)
+
+                _plan.emit(_replay_lrelu)
+            else:
+                _plan.poison("leaky_relu of a 0-d tensor")
+        return out
 
     def sigmoid(self) -> "Tensor":
         a = self
@@ -553,7 +632,13 @@ class Tensor:
         def backward(grad: np.ndarray):
             return ((a, grad * value * (1.0 - value)),)
 
-        return Tensor(value, parents=(a,), backward=backward)
+        out = Tensor(value, parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            x = a.data
+            _plan.emit_refresh(
+                value, lambda: 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+            )
+        return out
 
     def tanh(self) -> "Tensor":
         a = self
@@ -562,7 +647,13 @@ class Tensor:
         def backward(grad: np.ndarray):
             return ((a, grad * (1.0 - value**2)),)
 
-        return Tensor(value, parents=(a,), backward=backward)
+        out = Tensor(value, parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            if isinstance(value, np.ndarray):
+                _emit_ufunc1(np.tanh, a.data, value)
+            else:
+                _plan.poison("tanh of a 0-d tensor")
+        return out
 
     # ------------------------------------------------------------------
     # Reductions
@@ -584,9 +675,13 @@ class Tensor:
             np.copyto(buf, g)  # broadcasting copy, == broadcast_to().copy()
             return ((a, buf),)
 
-        return Tensor(
+        out = Tensor(
             a.data.sum(axis=axis, keepdims=keepdims), parents=(a,), backward=backward
         )
+        if _plan._TRACE is not None:
+            x, dst = a.data, out.data
+            _plan.emit(lambda: np.sum(x, axis=axis, keepdims=keepdims, out=dst))
+        return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -616,7 +711,15 @@ class Tensor:
             )
             return ((a, np.where(mask, g / counts, 0.0)),)
 
-        return Tensor(value, parents=(a,), backward=backward)
+        out = Tensor(value, parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            # The closure reads the captured ``value`` (max of a 0-d or
+            # full reduction yields a scalar -> not refreshable -> poison).
+            x = a.data
+            _plan.emit_refresh(
+                value, lambda: x.max(axis=axis, keepdims=keepdims)
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -630,7 +733,11 @@ class Tensor:
         def backward(grad: np.ndarray):
             return ((a, grad.reshape(original)),)
 
-        return Tensor(a.data.reshape(shape), parents=(a,), backward=backward)
+        out = Tensor(a.data.reshape(shape), parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            x = a.data
+            _plan.emit_view(out.data, x, lambda: x.reshape(shape))
+        return out
 
     def transpose(self, *axes: int) -> "Tensor":
         a = self
@@ -648,7 +755,10 @@ class Tensor:
                 return ((a, grad.T),)
             return ((a, grad.transpose(np.argsort(axes_seq))),)
 
-        return Tensor(data, parents=(a,), backward=backward)
+        out = Tensor(data, parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            _plan.emit_view(out.data, a.data)
+        return out
 
     @property
     def T(self) -> "Tensor":
@@ -660,7 +770,10 @@ class Tensor:
         def backward(grad: np.ndarray):
             return ((a, np.squeeze(grad, axis=axis)),)
 
-        return Tensor(np.expand_dims(a.data, axis), parents=(a,), backward=backward)
+        out = Tensor(np.expand_dims(a.data, axis), parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            _plan.emit_view(out.data, a.data)
+        return out
 
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
         a = self
@@ -669,7 +782,10 @@ class Tensor:
         def backward(grad: np.ndarray):
             return ((a, grad.reshape(original)),)
 
-        return Tensor(np.squeeze(a.data, axis=axis), parents=(a,), backward=backward)
+        out = Tensor(np.squeeze(a.data, axis=axis), parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            _plan.emit_view(out.data, a.data)
+        return out
 
     def __getitem__(self, index) -> "Tensor":
         a = self
@@ -690,4 +806,8 @@ class Tensor:
                 np.add.at(full, index, grad)
             return ((a, full),)
 
-        return Tensor(a.data[index], parents=(a,), backward=backward)
+        out = Tensor(a.data[index], parents=(a,), backward=backward)
+        if _plan._TRACE is not None:
+            x = a.data
+            _plan.emit_view(out.data, x, lambda: x[index])
+        return out
