@@ -14,6 +14,7 @@ from .landuse import CityLandUse, assign_archetypes, synthesize_land_use
 from .orders import OrderGenerator
 from .simulator import (
     SimulationResult,
+    metropolis_dataset,
     real_world_dataset,
     simulate,
     simulation_dataset,
@@ -45,6 +46,7 @@ __all__ = [
     "OrderGenerator",
     "SimulationResult",
     "simulate",
+    "metropolis_dataset",
     "real_world_dataset",
     "simulation_dataset",
     "tiny_dataset",

@@ -148,6 +148,8 @@ class O2SiteRec(Module):
             product_channel=cfg.product_channel,
             commercial_in_predictor=cfg.commercial_in_predictor,
         )
+        # Grid geometry enables grid-tile sharded eval (repro.core.shard).
+        self.recommender.grid_shape = (dataset.grid.rows, dataset.grid.cols)
 
         self._store_index = {
             int(r): i for i, r in enumerate(self.hetero_graph.store_regions)

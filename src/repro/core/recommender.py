@@ -382,6 +382,10 @@ class HeteroRecommender(Module):
         # Period-offset pair index arrays for the batched forward, cached by
         # pair-array identity like the commercial rows.
         self._offset_idx_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # (rows, cols) of the underlying region grid, attached by O2SiteRec;
+        # required (with eval mode + fast kernels) for grid-tile sharded
+        # propagation (repro.core.shard) to engage.
+        self.grid_shape: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     def _fuse_base(self):
@@ -554,6 +558,14 @@ class HeteroRecommender(Module):
                 out[period] = self._propagate(period, cap)
             return out
 
+        from .shard import propagate_periods_sharded, shard_tiles_for
+
+        tiles = shard_tiles_for(self, capacity_su)
+        if tiles:
+            # Metropolis-scale eval: fan the aggregation out over grid-tile
+            # workers; bit-identical to the per-period path below.
+            return propagate_periods_sharded(self, capacity_su, tiles)
+
         if num_threads(len(periods)) > 1 or not batch_periods_enabled():
             h0, z0, q0 = self._fuse_base()  # shared across periods
             fused = {p: (self.dropout(h0), self.dropout(z0), q0) for p in periods}
@@ -581,11 +593,14 @@ class HeteroRecommender(Module):
         capacity_su: Optional[Dict[TimePeriod, Tensor]] = None,
     ) -> Tensor:
         """Predict normalised order counts for (store-node, type) pairs."""
+        from .shard import shard_tiles_for
+
         periods = list(TimePeriod)
         if (
             fast_kernels_enabled()
             and batch_periods_enabled()
             and num_threads(len(periods)) <= 1
+            and not shard_tiles_for(self, capacity_su)
         ):
             # Batched path: gather all periods' pair rows straight from the
             # stacked embeddings with period-offset indices -- one gather

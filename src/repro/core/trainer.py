@@ -19,6 +19,7 @@ from ..runtime import env_flag, tune_allocator
 from ..tensor.plan import CompiledStep
 from .model import O2SiteRec
 from .recommender import batch_periods_enabled
+from .shard import use_shard_tiles
 
 
 @dataclass
@@ -41,6 +42,11 @@ class TrainConfig:
     # defers to the ``O2_COMPILE_STEP`` env switch (default on); replay is
     # bit-identical to eager, so this is purely a throughput knob.
     compile_step: Optional[bool] = None
+    # Grid-tile sharded eval propagation (see repro.core.shard).  None
+    # defers to ``O2_SHARD_TILES`` / the automatic metropolis threshold;
+    # an explicit count pins it for every eval pass of this fit (training
+    # steps always run unsharded -- gradients stay in-process).
+    shard_tiles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.schedule not in (None, "cosine", "step"):
@@ -143,11 +149,12 @@ class Trainer:
             # plan; swap the arena to the matching malloc profile.
             tune_allocator(profile="pinned")
         try:
-            return self._fit_loop(
-                cfg, fit_pairs, fit_targets, val_pairs, val_targets, rng,
-                train_losses, val_losses, best_val, best_state, bad_epochs,
-                stopped,
-            )
+            with use_shard_tiles(cfg.shard_tiles):
+                return self._fit_loop(
+                    cfg, fit_pairs, fit_targets, val_pairs, val_targets, rng,
+                    train_losses, val_losses, best_val, best_state, bad_epochs,
+                    stopped,
+                )
         finally:
             if self._compiled is not None:
                 self._compiled.close()

@@ -44,6 +44,8 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..runtime import env_float, env_str
+
 __all__ = [
     "PIPELINE_VERSION",
     "LRUCache",
@@ -110,8 +112,7 @@ class LRUCache:
 # Configuration.
 def cache_root() -> Optional[Path]:
     """Cache directory, or ``None`` when the cache is disabled."""
-    raw = os.environ.get("O2_PIPELINE_CACHE", "1").strip()
-    low = raw.lower()
+    low = env_str("O2_PIPELINE_CACHE", "1")
     if low in _OFF:
         return None
     if low in _ON:
@@ -119,7 +120,9 @@ def cache_root() -> Optional[Path]:
             os.path.expanduser("~"), ".cache"
         )
         return Path(base) / "o2-siterec" / "pipeline"
-    return Path(raw)
+    # Any other value is a cache directory: keep the user's spelling
+    # (paths are case-sensitive), only trimmed.
+    return Path(os.environ["O2_PIPELINE_CACHE"].strip())
 
 
 def pipeline_cache_enabled() -> bool:
@@ -127,11 +130,7 @@ def pipeline_cache_enabled() -> bool:
 
 
 def _max_bytes() -> int:
-    try:
-        mb = float(os.environ.get("O2_PIPELINE_CACHE_MB", "2048"))
-    except ValueError:
-        mb = 2048.0
-    return int(mb * 2**20)
+    return int(env_float("O2_PIPELINE_CACHE_MB", 2048.0) * 2**20)
 
 
 # ----------------------------------------------------------------------
@@ -455,12 +454,18 @@ def cached_dataset(kind: str, seed: int, scale: float):
     *resolved* city config (not just ``(kind, seed, scale)``), so any change
     to the preset recipes invalidates naturally.
     """
-    from ..city.simulator import real_world_config, simulation_config
+    from ..city.simulator import (
+        metropolis_config,
+        real_world_config,
+        simulation_config,
+    )
 
     if kind == "real":
         config = real_world_config(seed=7 + seed, scale=scale)
     elif kind == "sim":
         config = simulation_config(seed=11 + seed, scale=scale)
+    elif kind == "metropolis":
+        config = metropolis_config(seed=7 + seed, scale=scale)
     else:
         raise ValueError(f"unknown dataset kind {kind!r}")
 
@@ -486,13 +491,19 @@ def cached_dataset(kind: str, seed: int, scale: float):
 
 
 def _build_dataset_uncached(kind: str, seed: int, scale: float):
-    from ..city.simulator import real_world_dataset, simulation_dataset
+    from ..city.simulator import (
+        metropolis_dataset,
+        real_world_dataset,
+        simulation_dataset,
+    )
     from .dataset import SiteRecDataset
 
     if kind == "real":
         sim = real_world_dataset(seed=7 + seed, scale=scale)
     elif kind == "sim":
         sim = simulation_dataset(seed=11 + seed, scale=scale)
+    elif kind == "metropolis":
+        sim = metropolis_dataset(seed=7 + seed, scale=scale)
     else:
         raise ValueError(f"unknown dataset kind {kind!r}")
     dataset = SiteRecDataset.from_simulation(sim)
@@ -514,7 +525,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
     warm = sub.add_parser(
         "warm", help="pre-build harness datasets into the cache"
     )
-    warm.add_argument("--kind", default="real", choices=("real", "sim"))
+    warm.add_argument(
+        "--kind", default="real", choices=("real", "sim", "metropolis")
+    )
     warm.add_argument("--seed", type=int, default=0)
     warm.add_argument("--scale", type=float, default=0.55)
     warm.add_argument(

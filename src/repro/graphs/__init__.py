@@ -13,8 +13,11 @@ from .mobility import (
     CourierMobilityMultiGraph,
     MobilitySubgraph,
 )
+from .partition import GridTilePartition, partition_grid
 
 __all__ = [
+    "GridTilePartition",
+    "partition_grid",
     "RegionGeographicalGraph",
     "DEFAULT_THRESHOLD_M",
     "CourierMobilityMultiGraph",

@@ -94,17 +94,33 @@ class RegionTypeHeteroMultiGraph:
         return int(matches[0])
 
 
+# Above this many store x customer cells the builder streams distance rows
+# instead of materialising the dense matrix (~32 MB of float64 at the
+# limit; a 10k-region metropolis would need tens of GB dense).
+DENSE_DISTANCE_LIMIT = 4_000_000
+
+
 def build_hetero_multigraph(
     dataset: SiteRecDataset,
     split: Optional[InteractionSplit] = None,
     capacity_aware: bool = True,
     order_ratio_threshold: float = 0.02,
+    windowed_distances: Optional[bool] = None,
 ) -> RegionTypeHeteroMultiGraph:
     """Construct the multi-graph from a dataset.
 
     ``capacity_aware=False`` reproduces the *w/o Co* ablation's graph: S-U
     edges use a flat radius instead of the observed (pressure-controlled)
     delivery scopes.
+
+    ``windowed_distances`` selects the store-customer distance evaluation:
+    dense (one ``(nS, nU)`` matrix, fastest at paper scale) or windowed
+    (one streamed row per store, O(nU) memory -- mandatory at metropolis
+    scale, where the dense matrix runs to tens of GB).  The default
+    ``None`` switches automatically at :data:`DENSE_DISTANCE_LIMIT` cells.
+    Both paths compute each row with the same elementwise expressions, so
+    the resulting graphs are identical (``tests/test_partition.py`` pins
+    this).
     """
     agg = dataset.aggregates
     store_regions = dataset.store_regions
@@ -116,7 +132,20 @@ def build_hetero_multigraph(
     centroids = dataset.grid.centroids()
     sc = centroids[store_regions]
     uc = centroids[customer_regions]
-    dist = np.sqrt(((sc[:, None, :] - uc[None, :, :]) ** 2).sum(axis=2))
+    if windowed_distances is None:
+        windowed_distances = (
+            len(store_regions) * len(customer_regions) > DENSE_DISTANCE_LIMIT
+        )
+    if windowed_distances:
+        def dist_row(si: int) -> np.ndarray:
+            diff = sc[si] - uc
+            return np.sqrt((diff**2).sum(axis=1))
+
+    else:
+        dense_dist = np.sqrt(((sc[:, None, :] - uc[None, :, :]) ** 2).sum(axis=2))
+
+        def dist_row(si: int) -> np.ndarray:
+            return dense_dist[si]
 
     max_pair_count = max(
         (
@@ -143,10 +172,11 @@ def build_hetero_multigraph(
             else:
                 far = FALLBACK_SCOPE_M
                 avg = FALLBACK_SCOPE_M
-            candidates = np.flatnonzero(dist[si] <= far)
+            row = dist_row(si)
+            candidates = np.flatnonzero(row <= far)
             for ui in candidates:
                 ru = int(customer_regions[ui])
-                d = dist[si, ui]
+                d = row[ui]
                 stats = stats_t.get((rs, ru))
                 count = stats.count if stats else 0
                 if d >= avg:

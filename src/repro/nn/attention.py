@@ -31,7 +31,9 @@ from ..tensor import (
     edge_message_value,
     fast_kernels_enabled,
     gather_rows,
+    matmul_blocked,
     pool as _pool,
+    rows_matmul,
     segment_attention,
     segment_mean,
     segment_softmax,
@@ -180,7 +182,9 @@ class MultiHeadSegmentAttention(Module):
                 eproj = None
                 if edge_attr.static is not None:
                     s = edge_attr.static.shape[1]
-                    eproj = edge_attr.static @ w[off : off + s]
+                    # Blocked (rows_matmul) so shard workers can rebuild
+                    # their edge range's projection bit-for-bit.
+                    eproj = rows_matmul(edge_attr.static, w[off : off + s])
                     off += s
                 extras = []
                 for values, index in edge_attr.blocks:
@@ -188,7 +192,7 @@ class MultiHeadSegmentAttention(Module):
                     extras.append((values @ w[off : off + d], index))
                     off += d
             else:
-                eproj = edge_attr @ w[source_dim:]
+                eproj = rows_matmul(edge_attr, w[source_dim:])
             ckpt = buffer_pool_enabled()
             fused = edge_message(
                 pre, eproj, self.fuse.bias, src_index, extra=extras, checkpoint=ckpt
@@ -237,7 +241,7 @@ class MultiHeadSegmentAttention(Module):
                     elif isinstance(ea, FactoredEdgeAttr):
                         if ea.static is not None:
                             s = ea.static.shape[1]
-                            eproj_r = np.matmul(
+                            eproj_r = matmul_blocked(
                                 ea.static.data,
                                 wd[off : off + s],
                                 out=buf(
@@ -261,7 +265,7 @@ class MultiHeadSegmentAttention(Module):
                             ))
                             off += d
                     else:
-                        eproj_r = np.matmul(
+                        eproj_r = matmul_blocked(
                             ea.data,
                             wd[sd:],
                             out=buf((ea.shape[0], fuse_dim), tag="edge-msg-ckpt"),

@@ -22,6 +22,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
+from .runtime import env_str
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -32,7 +34,7 @@ _lock = threading.Lock()
 
 
 def _env_threads() -> Optional[int]:
-    raw = os.environ.get("O2_NUM_THREADS", "auto").strip().lower()
+    raw = env_str("O2_NUM_THREADS", "auto")
     if raw in ("", "auto"):
         return None
     try:
@@ -126,7 +128,7 @@ _proc_override: Optional[int] = None
 
 
 def _env_procs() -> int:
-    raw = os.environ.get("O2_NUM_PROCS", "0").strip().lower()
+    raw = env_str("O2_NUM_PROCS", "0")
     if raw in ("", "0", "off", "serial"):
         return 0
     if raw == "auto":
@@ -179,7 +181,7 @@ def num_serve_procs(default: int = 1) -> int:
     ``default``.  Used by ``python -m repro.serve --procs`` and
     :class:`repro.serve.workers.WorkerPool`.
     """
-    raw = os.environ.get("O2_SERVE_PROCS", "").strip().lower()
+    raw = env_str("O2_SERVE_PROCS", "")
     if raw in ("", "0"):
         return max(default, 1)
     if raw == "auto":
@@ -192,25 +194,49 @@ def num_serve_procs(default: int = 1) -> int:
         ) from None
 
 
+# True inside a process_map worker (set by the pool initializer, which runs
+# once in each freshly forked/spawned child).  A task that itself calls
+# process_map -- e.g. a sharded propagation worker whose model code would
+# fan out again -- must degrade to the serial loop instead of forking a
+# pool per worker (quadratic process growth, a fork bomb under recursion).
+_in_worker = False
+
+
+def _mark_worker() -> None:
+    global _in_worker
+    _in_worker = True
+
+
+def in_process_worker() -> bool:
+    """Whether this process is a :func:`process_map` pool worker."""
+    return _in_worker
+
+
 def process_map(
-    fn: Callable[[T], R], items: Sequence[T], procs: Optional[int] = None
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    procs: Optional[int] = None,
+    chunksize: Optional[int] = None,
 ) -> List[R]:
     """``[fn(x) for x in items]`` across worker processes, in item order.
 
-    Serial when fewer than two workers or items are configured.  Each task
-    must seed its own RNG state (cf. ``harness._seed_init``) so results are
-    identical to the serial loop regardless of which worker runs which
+    Serial when fewer than two workers or items are configured, and always
+    serial inside a pool worker (nested fan-out must not fork again).  Each
+    task must seed its own RNG state (cf. ``harness._seed_init``) so results
+    are identical to the serial loop regardless of which worker runs which
     item.  Workers are forked where available (cheap, inherits imports) and
-    spawned elsewhere.
+    spawned elsewhere.  ``chunksize`` is handed to ``Pool.map`` unchanged:
+    the default lets multiprocessing pick its batch size, ``1`` keeps
+    long-running heterogeneous tasks load-balanced across workers.
     """
     items = list(items)
     workers = num_procs() if procs is None else max(procs, 0)
     workers = min(workers, len(items))
-    if workers <= 1 or len(items) <= 1:
+    if workers <= 1 or len(items) <= 1 or _in_worker:
         return [fn(item) for item in items]
     import multiprocessing as mp
 
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
-    with ctx.Pool(processes=workers) as pool:
-        return pool.map(fn, items)
+    with ctx.Pool(processes=workers, initializer=_mark_worker) as pool:
+        return pool.map(fn, items, chunksize)

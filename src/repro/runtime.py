@@ -36,7 +36,14 @@ from __future__ import annotations
 import ctypes
 import os
 
-__all__ = ["env_flag", "env_int", "tune_allocator", "allocator_tuned"]
+__all__ = [
+    "env_flag",
+    "env_float",
+    "env_int",
+    "env_str",
+    "tune_allocator",
+    "allocator_tuned",
+]
 
 # One truthiness convention for every O2_* switch: anything except an
 # explicit "0"/"false"/"off" counts as on (so O2_FLAG= and O2_FLAG=yes both
@@ -65,6 +72,30 @@ def env_int(name: str, default: int) -> int:
         return int(float(raw or default))
     except ValueError:
         return int(default)
+
+
+def env_float(name: str, default: float) -> float:
+    """Parse the float env knob ``name``; malformed values fall back."""
+    raw = os.environ.get(name, "")
+    try:
+        return float(raw or default)
+    except ValueError:
+        return float(default)
+
+
+def env_str(name: str, default: str) -> str:
+    """Parse the enum-valued env switch ``name``: stripped and lowercased.
+
+    Every enum-valued ``O2_*`` switch (``O2_NUM_THREADS=auto``,
+    ``O2_SERVE_INDEX=on``...) compares case-insensitively against keyword
+    spellings; centralising the normalisation here keeps the modules on one
+    convention, mirroring :func:`env_flag`.  Unset falls back to ``default``
+    (also normalised, so callers can pass the canonical spelling).
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        raw = default
+    return raw.strip().lower()
 
 # From glibc's malloc.h; mallopt param numbers are ABI-stable.
 _M_TRIM_THRESHOLD = -1

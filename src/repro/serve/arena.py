@@ -71,12 +71,29 @@ def is_arena_file(path: PathLike) -> bool:
         return False
 
 
-def save_arena(snapshot: ModelSnapshot, path: PathLike) -> Path:
-    """Write ``snapshot`` as an arena file; returns the (suffixed) path."""
-    path = _arena_path(path)
+def save_raw_arena(
+    arrays: Dict[str, np.ndarray],
+    meta: dict,
+    path: PathLike,
+    *,
+    extra_header: Union[dict, None] = None,
+    durable: bool = True,
+) -> Path:
+    """Write named arrays + JSON-able metadata as one arena file.
+
+    The generic writer under :func:`save_arena`, also used directly by the
+    sharded-propagation executor (:mod:`repro.core.shard`) to publish
+    read-only feature tables that forked workers ``mmap`` instead of
+    unpickling.  ``extra_header`` entries are merged into the top-level
+    JSON header (the snapshot path stores ``snapshot_id`` there).  The
+    write is atomic (temp file + ``os.replace``); ``durable=False`` skips
+    the ``fsync`` for scratch arenas whose lifetime is one propagate call
+    -- crash consistency is irrelevant there and the sync would stall the
+    round on metropolis-sized tables.
+    """
+    path = Path(path)
     arrays = {
-        name: np.ascontiguousarray(array)
-        for name, array in snapshot._array_payload().items()
+        name: np.ascontiguousarray(array) for name, array in arrays.items()
     }
     table: Dict[str, dict] = {}
     offset = 0  # relative to the (aligned) start of the data section
@@ -89,13 +106,10 @@ def save_arena(snapshot: ModelSnapshot, path: PathLike) -> Path:
             "nbytes": int(array.nbytes),
         }
         offset += array.nbytes
-    header = json.dumps(
-        {
-            "meta": snapshot._meta_payload(),
-            "snapshot_id": snapshot.snapshot_id,
-            "arrays": table,
-        }
-    ).encode("utf-8")
+    payload = {"meta": meta, "arrays": table}
+    if extra_header:
+        payload.update(extra_header)
+    header = json.dumps(payload).encode("utf-8")
     data_start = _align(len(ARENA_MAGIC) + _LEN_STRUCT.size + len(header))
 
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -116,7 +130,8 @@ def save_arena(snapshot: ModelSnapshot, path: PathLike) -> Path:
             # entry is in bounds.
             out.truncate(data_start + offset)
             out.flush()
-            os.fsync(out.fileno())
+            if durable:
+                os.fsync(out.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -125,6 +140,16 @@ def save_arena(snapshot: ModelSnapshot, path: PathLike) -> Path:
             pass
         raise
     return path
+
+
+def save_arena(snapshot: ModelSnapshot, path: PathLike) -> Path:
+    """Write ``snapshot`` as an arena file; returns the (suffixed) path."""
+    return save_raw_arena(
+        snapshot._array_payload(),
+        snapshot._meta_payload(),
+        _arena_path(path),
+        extra_header={"snapshot_id": snapshot.snapshot_id},
+    )
 
 
 def read_arena_header(path: PathLike) -> Tuple[dict, int]:
@@ -150,16 +175,12 @@ def arena_segments(path: PathLike) -> Dict[str, dict]:
     return dict(header["arrays"])
 
 
-def open_arena(
-    path: PathLike, *, verify: bool = False
-) -> ModelSnapshot:
-    """Open an arena as a :class:`ModelSnapshot` backed by one mmap.
+def open_raw_arena(path: PathLike) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Open an arena as ``(header, arrays)`` views into one shared mmap.
 
-    The returned snapshot's arrays are read-only views into a shared
-    memory map; nothing is copied and (unless ``verify``) nothing beyond
-    the header is even paged in until scoring touches it.  ``verify``
-    recomputes the parameter fingerprint and fails loudly on mismatch --
-    useful after transfering an arena between hosts.
+    The generic reader under :func:`open_arena`; nothing is copied, and
+    when N forked workers open the same file the OS page cache backs them
+    all with one physical copy of the data.
     """
     path = Path(path)
     header, data_start = read_arena_header(path)
@@ -175,6 +196,21 @@ def open_arena(
             .view(np.dtype(entry["dtype"]))
             .reshape(entry["shape"])
         )
+    return header, arrays
+
+
+def open_arena(
+    path: PathLike, *, verify: bool = False
+) -> ModelSnapshot:
+    """Open an arena as a :class:`ModelSnapshot` backed by one mmap.
+
+    The returned snapshot's arrays are read-only views into a shared
+    memory map; nothing is copied and (unless ``verify``) nothing beyond
+    the header is even paged in until scoring touches it.  ``verify``
+    recomputes the parameter fingerprint and fails loudly on mismatch --
+    useful after transfering an arena between hosts.
+    """
+    header, arrays = open_raw_arena(path)
     snapshot = ModelSnapshot._from_payload(
         header["meta"], arrays, snapshot_id=header["snapshot_id"]
     )

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..core.ranking import Recommendation
+from ..runtime import env_str
 from ..topk import top_k_indices
 from .batching import MicroBatcher
 from .cache import ScoreCache, candidate_digest
@@ -44,7 +45,7 @@ from .snapshot import ModelSnapshot, PathLike
 def _env_use_index() -> Optional[bool]:
     """The ``O2_SERVE_INDEX`` toggle: 0/off -> False, 1/on -> True,
     auto/unset -> None (use the index whenever the snapshot has one)."""
-    raw = os.environ.get("O2_SERVE_INDEX", "auto").strip().lower()
+    raw = env_str("O2_SERVE_INDEX", "auto")
     if raw in ("0", "off", "false", "no"):
         return False
     if raw in ("1", "on", "true", "yes"):

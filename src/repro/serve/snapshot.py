@@ -180,11 +180,38 @@ class ModelSnapshot:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_model(cls, model, meta: Optional[dict] = None) -> "ModelSnapshot":
-        """Freeze a live :class:`~repro.core.O2SiteRec` for serving."""
+    def from_model(
+        cls,
+        model,
+        meta: Optional[dict] = None,
+        shard_tiles: Optional[int] = None,
+    ) -> "ModelSnapshot":
+        """Freeze a live :class:`~repro.core.O2SiteRec` for serving.
+
+        ``shard_tiles`` pins the grid-tile count of the embedding export's
+        propagation (:mod:`repro.core.shard`): the snapshot is assembled
+        from per-tile partial aggregations instead of one monolithic
+        sweep, which is how metropolis-scale snapshots stay inside the
+        build host's cache/memory budget.  ``None`` defers to the usual
+        ``O2_SHARD_TILES``/auto-threshold gate; the stitched embeddings
+        are bit-identical either way, so the snapshot fingerprint does not
+        depend on the build topology.  The effective tile count is
+        recorded under ``meta["shard_tiles"]``.
+        """
+        from ..core.shard import shard_tiles_for, use_shard_tiles
         from ..data.periods import TimePeriod
 
-        per_period = model.export_embeddings()
+        with use_shard_tiles(shard_tiles):
+            per_period = model.export_embeddings()
+            was_training = model.training
+            model.eval()
+            try:
+                effective_tiles = shard_tiles_for(model.recommender)
+            finally:
+                if was_training:
+                    model.train()
+        meta = dict(meta or {})
+        meta.setdefault("shard_tiles", int(effective_tiles))
         h = np.stack([per_period[p][0] for p in TimePeriod], axis=0)
         q = np.stack([per_period[p][1] for p in TimePeriod], axis=0)
 

@@ -15,10 +15,13 @@ from .pool import (
     use_buffer_pool,
 )
 from .ops import (
+    MATMUL_BLOCK,
     concat,
     edge_message,
     edge_message_value,
     gather_rows,
+    matmul_blocked,
+    rows_matmul,
     gather_rows_reference,
     ones,
     period_attention,
@@ -55,6 +58,9 @@ __all__ = [
     "gather_rows_reference",
     "edge_message",
     "edge_message_value",
+    "MATMUL_BLOCK",
+    "matmul_blocked",
+    "rows_matmul",
     "segment_sum",
     "segment_sum_reference",
     "segment_mean",

@@ -36,6 +36,79 @@ from . import segment as _segment
 from .segment import get_plan
 from .tensor import ArrayLike, Tensor, as_tensor, unbroadcast
 
+# Row-block size of :func:`matmul_blocked`.  BLAS results vary *bitwise*
+# with the row count M (kernel/blocking selection changes the FMA
+# accumulation order), so an edge-count-sized matmul computed over a row
+# subset does not reproduce the full-matrix bytes.  Evaluating in fixed
+# blocks anchored at absolute row offsets makes every output row a pure
+# function of its own block's input bytes -- any process recomputing the
+# covering blocks of a row range (repro.core.shard workers) gets results
+# bit-identical to the full single-process evaluation.
+MATMUL_BLOCK = 4096
+
+
+def matmul_blocked(a: np.ndarray, w: np.ndarray, out=None) -> np.ndarray:
+    """``a @ w`` evaluated in fixed :data:`MATMUL_BLOCK`-row blocks.
+
+    Block ``k`` covers absolute rows ``[k*B, min((k+1)*B, n))``; results are
+    independent of buffer alignment and of which other blocks are computed
+    alongside, which is the reproducibility contract sharded propagation
+    relies on.  ``out=None`` allocates (matching ``np.matmul``'s dtype
+    promotion); a pooled buffer may be passed through.
+    """
+    n = a.shape[0]
+    if n <= MATMUL_BLOCK:
+        return np.matmul(a, w, out=out)
+    if out is None:
+        out = np.empty((n, w.shape[1]), dtype=np.result_type(a, w))
+    for start in range(0, n, MATMUL_BLOCK):
+        stop = min(start + MATMUL_BLOCK, n)
+        np.matmul(a[start:stop], w, out=out[start:stop])
+    return out
+
+
+def rows_matmul(a: ArrayLike, w: ArrayLike) -> Tensor:
+    """Differentiable ``a @ w`` with a :func:`matmul_blocked` forward.
+
+    Used for edge-count-sized projections (edge attributes through the
+    fusion weight's edge block) so that sharded workers can rebuild any
+    block-aligned row range of the value bit-for-bit without the master
+    shipping the (E, F) product through the feature arena.  Identical to
+    ``a @ w`` below :data:`MATMUL_BLOCK` rows.
+    """
+    t_a = as_tensor(a)
+    t_w = as_tensor(w)
+    value = matmul_blocked(
+        t_a.data,
+        t_w.data,
+        out=_pool.out_buffer(
+            (t_a.shape[0], t_w.shape[1]), t_a.data.dtype, tag="rows-matmul"
+        ),
+    )
+
+    def backward(grad: np.ndarray):
+        out = []
+        if t_a.requires_grad:
+            g_a = np.matmul(
+                grad,
+                t_w.data.T,
+                out=_pool.out_buffer(t_a.shape, t_a.data.dtype, tag="rows-mm-ga"),
+            )
+            out.append((t_a, g_a))
+        if t_w.requires_grad:
+            out.append((t_w, t_a.data.T @ grad))
+        return out
+
+    result = Tensor(value, parents=(t_a, t_w), backward=backward)
+    if _plan._TRACE is not None:
+        x, y, dst = t_a.data, t_w.data, result.data
+
+        def _replay_rows_matmul():
+            matmul_blocked(x, y, out=dst)
+
+        _plan.emit(_replay_rows_matmul)
+    return result
+
 
 def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` (differentiable)."""
@@ -572,7 +645,9 @@ def segment_attention(
     _, num_heads, head_dim = t_q.shape
     out_dim = num_heads * head_dim
 
-    keys_flat = np.matmul(
+    # Blocked so sharded workers can reproduce any row range bit-for-bit
+    # (see matmul_blocked); every recompute/replay below must match.
+    keys_flat = matmul_blocked(
         t_f.data,
         t_w.data,
         out=_pool.out_buffer((num_edges, out_dim), t_f.data.dtype, tag="segatt-keys"),
@@ -618,7 +693,7 @@ def segment_attention(
             f = None
             if k is None:
                 f = t_f.data if recompute_input is None else recompute_input()
-                k = np.matmul(
+                k = matmul_blocked(
                     f,
                     t_w.data,
                     out=_pool.out_buffer(
@@ -661,7 +736,7 @@ def segment_attention(
             val = result.data
 
             def _replay_segatt_c():
-                np.matmul(f_arr, w_arr, out=keys_flat)
+                matmul_blocked(f_arr, w_arr, out=keys_flat)
                 if q_c is not tq_arr:
                     np.copyto(q_c, tq_arr)
                 # The kernel accumulates the aggregation, so hand the
@@ -724,7 +799,7 @@ def segment_attention(
         f = None
         if saved is None:
             f = t_f.data if recompute_input is None else recompute_input()
-            keys_b = np.matmul(
+            keys_b = matmul_blocked(
                 f,
                 t_w.data,
                 out=_pool.out_buffer(
@@ -804,7 +879,7 @@ def segment_attention(
         val = result.data
 
         def _replay_segatt():
-            np.matmul(f_arr, w_arr, out=keys_flat)
+            matmul_blocked(f_arr, w_arr, out=keys_flat)
             np.take(tq_arr, ids, axis=0, out=q_edge, mode="clip")
             s = np.einsum("ehd,ehd->eh", keys, q_edge)
             s *= scale
