@@ -14,6 +14,7 @@ from .landuse import CityLandUse, assign_archetypes, synthesize_land_use
 from .orders import OrderGenerator
 from .simulator import (
     SimulationResult,
+    megacity_dataset,
     metropolis_dataset,
     real_world_dataset,
     simulate,
@@ -46,6 +47,7 @@ __all__ = [
     "OrderGenerator",
     "SimulationResult",
     "simulate",
+    "megacity_dataset",
     "metropolis_dataset",
     "real_world_dataset",
     "simulation_dataset",

@@ -115,6 +115,14 @@ class CityConfig:
     # "agents": event-driven courier dispatch (see repro.city.dispatch).
     dispatch_mode: str = "formula"
 
+    # "shared": every order consumes one shared RNG stream in a fixed
+    # global sequence (the paper-scale reference discipline, bit-pinned by
+    # tests/test_fast_sim.py); "tiles": each grid tile draws from its own
+    # SeedSequence-spawned stream (repro.city.tilesim) -- embarrassingly
+    # parallel and deterministic for any worker count, used by the
+    # megacity preset.
+    order_streams: str = "shared"
+
     # Data-quality knobs (the "simulation dataset" preset degrades these).
     demand_noise: float = 0.15  # day-to-day lognormal sigma on demand
     observation_noise: float = 0.0  # extra noise on recorded delivery times
@@ -135,6 +143,11 @@ class CityConfig:
             raise ValueError(
                 f"dispatch_mode must be 'formula' or 'agents', "
                 f"got {self.dispatch_mode!r}"
+            )
+        if self.order_streams not in ("shared", "tiles"):
+            raise ValueError(
+                f"order_streams must be 'shared' or 'tiles', "
+                f"got {self.order_streams!r}"
             )
 
     @property

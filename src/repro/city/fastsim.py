@@ -35,9 +35,17 @@ from typing import Optional
 
 from ..runtime import env_flag
 
-__all__ = ["fast_sim_enabled", "set_fast_sim", "use_fast_sim"]
+__all__ = [
+    "fast_sim_enabled",
+    "set_fast_sim",
+    "use_fast_sim",
+    "order_table_enabled",
+    "set_order_table",
+    "use_order_table",
+]
 
 _fast_sim = env_flag("O2_FAST_SIM", True)
+_order_table = env_flag("O2_ORDER_TABLE", True)
 
 
 def fast_sim_enabled() -> bool:
@@ -67,3 +75,40 @@ class use_fast_sim:
     def __exit__(self, *exc) -> None:
         assert self._previous is not None
         set_fast_sim(self._previous)
+
+
+def order_table_enabled() -> bool:
+    """Whether the fast path emits a columnar :class:`OrderTable`.
+
+    On (the default) the fast simulation paths return the struct-of-arrays
+    order log behind a lazy record view -- record-identical to the list the
+    reference loop builds, but ~4x smaller and consumable without Python
+    loops.  ``O2_ORDER_TABLE=0`` pins the materialised ``List[OrderRecord]``
+    (the pre-PR-9 representation; also the serial baseline leg of
+    ``benchmarks/bench_megacity.py``).
+    """
+    return _order_table
+
+
+def set_order_table(enabled: bool) -> bool:
+    """Toggle columnar order emission; returns the previous setting."""
+    global _order_table
+    previous = _order_table
+    _order_table = bool(enabled)
+    return previous
+
+
+class use_order_table:
+    """Context manager pinning the order-table switch (tests/benchmarks)."""
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = enabled
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> "use_order_table":
+        self._previous = set_order_table(self._enabled)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._previous is not None
+        set_order_table(self._previous)

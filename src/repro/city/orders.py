@@ -12,16 +12,17 @@ customers).  The result is a list of Table-I order records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.cache import LRUCache
+from ..data.ordertable import OrderTable, StoreRegistry
 from ..data.periods import NUM_PERIODS, TimePeriod
 from ..data.records import MINUTES_PER_DAY, OrderRecord
 from .config import CityConfig
 from .couriers import CourierFleet
-from .fastsim import fast_sim_enabled
+from .fastsim import fast_sim_enabled, order_table_enabled
 from .landuse import CityLandUse
 from .stores import PlacedStore
 
@@ -61,6 +62,59 @@ def _index_stores(stores: List[PlacedStore], num_types: int) -> List[_StoreIndex
             )
         )
     return result
+
+
+def compute_order_columns(
+    cfg: CityConfig,
+    prep_per_order: np.ndarray,
+    congestion_per_order: np.ndarray,
+    uni: np.ndarray,
+    exp_d: np.ndarray,
+    prep_ln: np.ndarray,
+    deliv_ln: np.ndarray,
+    noise_z: Optional[np.ndarray],
+    base: np.ndarray,
+    duration: np.ndarray,
+    col: np.ndarray,
+    row: np.ndarray,
+    store_x: np.ndarray,
+    store_y: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """Columnar twin of the per-order arithmetic in ``_make_order``.
+
+    Shared by the shared-stream fast path (:meth:`OrderGenerator
+    ._assemble_fast`) and the tile-parallel generator
+    (:mod:`repro.city.tilesim`); every expression mirrors the scalar
+    operation order of the reference exactly so floats match bit-for-bit.
+    """
+    # cx = (col + u) * cell; cy = (row + u) * cell
+    cx = (col + uni[:, 0]) * cfg.cell_size
+    cy = (row + uni[:, 1]) * cfg.cell_size
+    distance = np.hypot(store_x - cx, store_y - cy)
+    # created = day*1440 + start*60 + u*(end-start)*60
+    created = base + (uni[:, 2] * duration) * 60
+    accepted = created + 0.3 + exp_d
+    # prep = max(2.0, prep_minutes[type] * lognormal)
+    prep = np.maximum(2.0, prep_per_order * prep_ln)
+    pickup = accepted + prep
+    # CourierFleet.delivery_minutes, columnar:
+    travel = distance / cfg.courier_speed_m_per_min
+    minutes = cfg.handling_minutes + travel * congestion_per_order
+    minutes = minutes * deliv_ln
+    if noise_z is not None:
+        # rng.normal(0.0, s) == s * standard_normal(), bit-for-bit.
+        minutes = minutes + (cfg.observation_noise * minutes) * noise_z
+    delivery = np.maximum(minutes, 2.0)
+    delivered = pickup + delivery
+    return {
+        "cx": cx,
+        "cy": cy,
+        "distance": distance,
+        "created": created,
+        "accepted": accepted,
+        "pickup": pickup,
+        "delivered": delivered,
+    }
 
 
 class OrderGenerator:
@@ -179,13 +233,20 @@ class OrderGenerator:
         return entry
 
     # ------------------------------------------------------------------
-    def generate(self) -> List[OrderRecord]:
+    def generate(self) -> Sequence[OrderRecord]:
         """Simulate ``config.num_days`` days of orders.
 
         With :func:`repro.city.fastsim.fast_sim_enabled` the columnar fast
         path runs instead of the reference loop; the two produce identical
-        record streams (``tests/test_fast_sim.py``).
+        record streams (``tests/test_fast_sim.py``).  With
+        ``config.order_streams == "tiles"`` the deterministic-streams
+        tile-parallel generator runs instead (its own RNG discipline, see
+        :mod:`repro.city.tilesim`).
         """
+        if getattr(self.config, "order_streams", "shared") == "tiles":
+            from .tilesim import generate_tiled
+
+            return generate_tiled(self)
         if fast_sim_enabled():
             return self._generate_fast()
         cfg = self.config
@@ -247,7 +308,53 @@ class OrderGenerator:
         effective = [p if p else flat for p in pools]
         return effective, [len(p) for p in effective]
 
-    def _generate_fast(self) -> List[OrderRecord]:
+    def _courier_numbering(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(offsets, has_pool, flat_ids)`` for integer courier lookup.
+
+        ``flat_ids`` is the whole fleet in region-concatenation order --
+        the same flattening ``_courier_pools`` uses for the empty-pool
+        fallback -- so an in-pool draw ``ci`` for store region ``sr`` maps
+        to global courier number ``offsets[sr] + ci`` and a fallback draw
+        maps to ``ci`` directly.
+        """
+        cached = getattr(self, "_courier_numbers", None)
+        if cached is None:
+            pools = self.fleet.couriers_by_region
+            sizes = np.array([len(p) for p in pools], dtype=np.int64)
+            offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+            flat_ids = np.array(
+                [c for regional in pools for c in regional]
+            )
+            cached = (offsets, sizes > 0, flat_ids)
+            self._courier_numbers = cached
+        return cached
+
+    def _courier_numbers_for(
+        self, store_regions: np.ndarray, draws: np.ndarray
+    ) -> np.ndarray:
+        """Global courier numbers for per-order pool draws ``draws``."""
+        offsets, has_pool, _ = self._courier_numbering()
+        nums = np.empty(len(draws), dtype=np.int64)
+        mask = has_pool[store_regions]
+        nums[mask] = offsets[store_regions[mask]] + draws[mask]
+        nums[~mask] = draws[~mask]
+        return nums
+
+    def store_registry(self) -> StoreRegistry:
+        """Shared id tables for :class:`~repro.data.ordertable.OrderTable`."""
+        cached = getattr(self, "_registry", None)
+        if cached is None:
+            stores = self.stores
+            cached = StoreRegistry(
+                store_ids=np.array([s.record.store_id for s in stores]),
+                store_lon=np.array([s.record.lon for s in stores]),
+                store_lat=np.array([s.record.lat for s in stores]),
+                courier_ids=self._courier_numbering()[2],
+            )
+            self._registry = cached
+        return cached
+
+    def _generate_fast(self) -> Sequence[OrderRecord]:
         """Columnar twin of the reference loop above.
 
         RNG calls happen in exactly the reference order: the per-day and
@@ -364,12 +471,15 @@ class OrderGenerator:
 
     def _assemble_fast(
         self, picked_groups, g_meta, draws, noisy: bool
-    ) -> List[OrderRecord]:
-        """Turn draw buffers into ``OrderRecord``s with columnar arithmetic.
+    ) -> Sequence[OrderRecord]:
+        """Turn draw buffers into orders with columnar arithmetic.
 
         Each expression mirrors the scalar operation order of
         :meth:`_make_order` exactly (same grouping, same operand order) so
-        every float matches the reference bit-for-bit.
+        every float matches the reference bit-for-bit.  The result is a
+        lazy :class:`~repro.data.ordertable.OrderRecordSeq` view over an
+        :class:`~repro.data.ordertable.OrderTable` unless
+        ``O2_ORDER_TABLE=0`` pins the materialised record list.
         """
         cfg = self.config
         grid = self.land.grid
@@ -394,38 +504,56 @@ class OrderGenerator:
         stores = self.stores
         store_x = np.array([s.x for s in stores])
         store_y = np.array([s.y for s in stores])
+
+        cols = compute_order_columns(
+            cfg,
+            self._prep[stype],
+            self._congestion[gidx, t_arr],
+            uni,
+            exp_d,
+            prep_ln,
+            deliv_ln,
+            draws["noise_z"] if noisy else None,
+            base,
+            duration,
+            col,
+            row,
+            store_x[gidx],
+            store_y[gidx],
+        )
+        cx, cy = cols["cx"], cols["cy"]
+        distance = cols["distance"]
+        created, accepted = cols["created"], cols["accepted"]
+        pickup, delivered = cols["pickup"], cols["delivered"]
+        clon, clat = grid.to_lonlat(cx, cy)
+        sregs = self._store_regions[gidx]
+
+        if order_table_enabled():
+            table = OrderTable(
+                {
+                    "store_index": gidx,
+                    "store_region": sregs,
+                    "customer_region": creg,
+                    "store_type": stype,
+                    "cust_tag": creg,
+                    "cust_serial": cust,
+                    "courier_num": self._courier_numbers_for(sregs, cour),
+                    "customer_lon": clon,
+                    "customer_lat": clat,
+                    "created_minute": created,
+                    "accepted_minute": accepted,
+                    "pickup_minute": pickup,
+                    "delivered_minute": delivered,
+                    "distance_m": distance,
+                },
+                self.store_registry(),
+            )
+            return table.records_view()
+
         store_lon = np.array([s.record.lon for s in stores])
         store_lat = np.array([s.record.lat for s in stores])
         store_ids = [s.record.store_id for s in stores]
-
-        # _make_order, columnar.  Comments give the scalar original.
-        # cx = (col + u) * cell; cy = (row + u) * cell
-        cx = (col + uni[:, 0]) * cfg.cell_size
-        cy = (row + uni[:, 1]) * cfg.cell_size
-        sx = store_x[gidx]
-        sy = store_y[gidx]
-        distance = np.hypot(sx - cx, sy - cy)
-        # created = day*1440 + start*60 + u*(end-start)*60
-        created = base + (uni[:, 2] * duration) * 60
-        accepted = created + 0.3 + exp_d
-        # prep = max(2.0, prep_minutes[type] * lognormal)
-        prep = np.maximum(2.0, self._prep[stype] * prep_ln)
-        pickup = accepted + prep
-        # CourierFleet.delivery_minutes, columnar:
-        travel = distance / cfg.courier_speed_m_per_min
-        minutes = cfg.handling_minutes + travel * self._congestion[gidx, t_arr]
-        minutes = minutes * deliv_ln
-        if noisy:
-            # rng.normal(0.0, s) == s * standard_normal(), bit-for-bit.
-            minutes = minutes + (cfg.observation_noise * minutes) * draws[
-                "noise_z"
-            ]
-        delivery = np.maximum(minutes, 2.0)
-        delivered = pickup + delivery
-        clon, clat = grid.to_lonlat(cx, cy)
-
         pools, _ = self._courier_pools()
-        sregs = self._store_regions[gidx]
         records = [
             OrderRecord(
                 f"O{i:07d}",

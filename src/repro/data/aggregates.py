@@ -6,20 +6,39 @@ store-region/customer-region transaction matrices per period, delivery-time
 statistics per region pair and per region, and delivery-distance statistics
 per store region.  These aggregates are *observable* quantities -- they are
 derived purely from Table-I records.
+
+Two build paths produce bit-identical aggregates:
+
+* the reference record loop (any iterable of ``OrderRecord``), and
+* :meth:`OrderAggregates.from_table`, the columnar path taken when the
+  orders are an :class:`~repro.data.ordertable.OrderRecordSeq` view: counts
+  via ``bincount``, float sums via ``np.add.at`` (unbuffered, so the
+  accumulation order equals the record loop's, float-for-float), maxima via
+  ``np.maximum.at``.
+
+Pair statistics live in sorted :class:`PairTable` columns; the legacy
+``pair_stats`` dicts are materialised lazily, in first-occurrence order, so
+consumers that depend on dict insertion order (the courier mobility graph)
+see exactly the reference ordering.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from .periods import NUM_PERIODS, TimePeriod
-from .records import OrderRecord
+from .records import MINUTES_PER_DAY, OrderRecord
 
 PairKey = Tuple[int, int]  # (store_region, customer_region)
+
+# int(created % 1440 // 60) -> TimePeriod, as a gather table.
+_HOUR_PERIOD = np.array(
+    [int(TimePeriod.from_hour(h)) for h in range(24)], dtype=np.int64
+)
 
 
 @dataclass
@@ -39,6 +58,78 @@ class PairStats:
         return self.delivery_sum / self.count if self.count else 0.0
 
 
+@dataclass(eq=False)
+class PairTable:
+    """Columnar per-period pair statistics, sorted by ``s * N + u`` key.
+
+    ``first_seen`` records where in the period's record stream each pair
+    first occurred; iterating pairs by ascending ``first_seen`` reproduces
+    the insertion order of the reference ``{(s, u): PairStats}`` dict,
+    which downstream edge lists depend on.
+    """
+
+    num_regions: int
+    keys: np.ndarray  # (K,) int64, sorted: store_region * N + customer_region
+    counts: np.ndarray  # (K,) int64
+    distance_sums: np.ndarray  # (K,) float64
+    delivery_sums: np.ndarray  # (K,) float64
+    first_seen: np.ndarray  # (K,) int64
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @classmethod
+    def empty(cls, num_regions: int) -> "PairTable":
+        z = np.zeros(0, dtype=np.int64)
+        return cls(num_regions, z, z.copy(), np.zeros(0), np.zeros(0),
+                   z.copy())
+
+    @classmethod
+    def from_dict(
+        cls, stats: Dict[PairKey, PairStats], num_regions: int
+    ) -> "PairTable":
+        if not stats:
+            return cls.empty(num_regions)
+        keys = np.array(
+            [s * num_regions + u for (s, u) in stats], dtype=np.int64
+        )
+        counts = np.array([st.count for st in stats.values()], dtype=np.int64)
+        dsums = np.array([st.distance_sum for st in stats.values()])
+        lsums = np.array([st.delivery_sum for st in stats.values()])
+        first = np.arange(len(keys), dtype=np.int64)  # insertion order
+        order = np.argsort(keys, kind="stable")
+        return cls(
+            num_regions,
+            keys[order],
+            counts[order],
+            dsums[order],
+            lsums[order],
+            first[order],
+        )
+
+    def to_dict(self) -> Dict[PairKey, PairStats]:
+        """Materialise the reference dict, in first-occurrence order."""
+        n = self.num_regions
+        result: Dict[PairKey, PairStats] = {}
+        for i in np.argsort(self.first_seen, kind="stable"):
+            key = (int(self.keys[i] // n), int(self.keys[i] % n))
+            result[key] = PairStats(
+                count=int(self.counts[i]),
+                distance_sum=float(self.distance_sums[i]),
+                delivery_sum=float(self.delivery_sums[i]),
+            )
+        return result
+
+    def counts_for(self, query_keys: np.ndarray) -> np.ndarray:
+        """Pair counts for ``s * N + u`` keys (0 where the pair is absent)."""
+        if not len(self.keys):
+            return np.zeros(len(query_keys), dtype=np.int64)
+        pos = np.searchsorted(self.keys, query_keys)
+        pos_c = np.minimum(pos, len(self.keys) - 1)
+        hit = self.keys[pos_c] == query_keys
+        return np.where(hit, self.counts[pos_c], 0)
+
+
 @dataclass
 class OrderAggregates:
     """All per-month aggregates of an order log.
@@ -50,10 +141,10 @@ class OrderAggregates:
     counts_sat / counts_uat:
         ``(N, T, P)`` orders per (store-region | customer-region, type,
         period).
-    pair_stats:
-        Per period: ``{(s, u): PairStats}`` with counts, distances and
+    pair_tables:
+        Per period: a sorted :class:`PairTable` with counts, distances and
         delivery times -- the source of S-U edges and the courier mobility
-        graph.
+        graph.  The legacy ``pair_stats`` dict view is a lazy property.
     farthest_distance / mean_distance:
         ``(N, P)`` farthest and average delivery distance per store region
         and period (drives the paper's S-U edge construction rule).
@@ -69,16 +160,37 @@ class OrderAggregates:
     counts_sa: np.ndarray
     counts_sat: np.ndarray
     counts_uat: np.ndarray
-    pair_stats: List[Dict[PairKey, PairStats]]
+    pair_tables: List[PairTable]
     farthest_distance: np.ndarray
     mean_distance: np.ndarray
     region_delivery_time: np.ndarray
     total_orders_s: np.ndarray
 
+    @property
+    def pair_stats(self) -> List[Dict[PairKey, PairStats]]:
+        """Per-period ``{(s, u): PairStats}`` dicts (lazy, reference order)."""
+        cached: Optional[List[Dict[PairKey, PairStats]]] = self.__dict__.get(
+            "_pair_stats_cache"
+        )
+        if cached is None:
+            cached = [pt.to_dict() for pt in self.pair_tables]
+            self.__dict__["_pair_stats_cache"] = cached
+        return cached
+
+    def max_pair_count(self) -> int:
+        """Largest per-period pair count across the month (0 when empty)."""
+        return max(
+            (int(pt.counts.max()) for pt in self.pair_tables if len(pt)),
+            default=0,
+        )
+
     @classmethod
     def from_orders(
         cls, orders: Iterable[OrderRecord], num_regions: int, num_types: int
     ) -> "OrderAggregates":
+        table = getattr(orders, "table", None)
+        if table is not None:
+            return cls.from_table(table, num_regions, num_types)
         counts_sa = np.zeros((num_regions, num_types))
         counts_sat = np.zeros((num_regions, num_types, NUM_PERIODS))
         counts_uat = np.zeros((num_regions, num_types, NUM_PERIODS))
@@ -113,13 +225,100 @@ class OrderAggregates:
         region_dt = np.divide(
             dt_sum, dt_count, out=np.zeros_like(dt_sum), where=dt_count > 0
         )
+        materialised = [dict(p) for p in pair_stats]
+        agg = cls(
+            num_regions=num_regions,
+            num_types=num_types,
+            counts_sa=counts_sa,
+            counts_sat=counts_sat,
+            counts_uat=counts_uat,
+            pair_tables=[
+                PairTable.from_dict(p, num_regions) for p in materialised
+            ],
+            farthest_distance=farthest,
+            mean_distance=mean_distance,
+            region_delivery_time=region_dt,
+            total_orders_s=totals,
+        )
+        agg.__dict__["_pair_stats_cache"] = materialised
+        return agg
+
+    @classmethod
+    def from_table(
+        cls, table, num_regions: int, num_types: int
+    ) -> "OrderAggregates":
+        """Columnar aggregation over an :class:`OrderTable`.
+
+        Bit-identical to the record loop: integer counts are exact either
+        way, float sums accumulate in record order (``np.add.at`` is
+        unbuffered and processes elements in sequence), maxima are
+        order-independent.
+        """
+        s = table.column("store_region").astype(np.int64)
+        u = table.column("customer_region").astype(np.int64)
+        a = table.column("store_type").astype(np.int64)
+        dist = table.column("distance_m")
+        delivery = table.column("delivered_minute") - table.column(
+            "pickup_minute"
+        )
+        hours = (
+            table.column("created_minute").astype(np.int64) % MINUTES_PER_DAY
+        ) // 60
+        t = _HOUR_PERIOD[hours]
+
+        N, T, P = num_regions, num_types, NUM_PERIODS
+        counts_sa = np.bincount(s * T + a, minlength=N * T).astype(
+            np.float64
+        ).reshape(N, T)
+        counts_sat = np.bincount(
+            (s * T + a) * P + t, minlength=N * T * P
+        ).astype(np.float64).reshape(N, T, P)
+        counts_uat = np.bincount(
+            (u * T + a) * P + t, minlength=N * T * P
+        ).astype(np.float64).reshape(N, T, P)
+
+        farthest = np.zeros((N, P))
+        np.maximum.at(farthest, (s, t), dist)
+        dist_sum = np.zeros((N, P))
+        np.add.at(dist_sum, (s, t), dist)
+        totals = np.bincount(s * P + t, minlength=N * P).astype(
+            np.float64
+        ).reshape(N, P)
+        dt_sum = np.zeros(N)
+        np.add.at(dt_sum, s, delivery)
+        dt_count = np.bincount(s, minlength=N).astype(np.float64)
+
+        pair_key = s * N + u
+        tables: List[PairTable] = []
+        for t_i in range(P):
+            mask = t == t_i
+            keys_t = pair_key[mask]
+            if not keys_t.size:
+                tables.append(PairTable.empty(N))
+                continue
+            uniq, inv = np.unique(keys_t, return_inverse=True)
+            cnt = np.bincount(inv, minlength=len(uniq)).astype(np.int64)
+            dsum = np.zeros(len(uniq))
+            np.add.at(dsum, inv, dist[mask])
+            lsum = np.zeros(len(uniq))
+            np.add.at(lsum, inv, delivery[mask])
+            first = np.full(len(uniq), np.iinfo(np.int64).max)
+            np.minimum.at(first, inv, np.arange(len(keys_t), dtype=np.int64))
+            tables.append(PairTable(N, uniq, cnt, dsum, lsum, first))
+
+        mean_distance = np.divide(
+            dist_sum, totals, out=np.zeros_like(dist_sum), where=totals > 0
+        )
+        region_dt = np.divide(
+            dt_sum, dt_count, out=np.zeros_like(dt_sum), where=dt_count > 0
+        )
         return cls(
             num_regions=num_regions,
             num_types=num_types,
             counts_sa=counts_sa,
             counts_sat=counts_sat,
             counts_uat=counts_uat,
-            pair_stats=[dict(p) for p in pair_stats],
+            pair_tables=tables,
             farthest_distance=farthest,
             mean_distance=mean_distance,
             region_delivery_time=region_dt,
@@ -142,13 +341,28 @@ class OrderAggregates:
 
         Returns ``(store_region, customer_region, mean_delivery_minutes,
         count)`` for every pair with at least ``min_count`` deliveries
-        (Definition 3: edges carry the actual delivery time).
+        (Definition 3: edges carry the actual delivery time).  Emitted in
+        first-occurrence order -- the insertion order of the reference
+        ``pair_stats`` dict.
         """
-        result = []
-        for (s, u), stats in self.pair_stats[int(period)].items():
-            if stats.count >= min_count:
-                result.append((s, u, stats.mean_delivery, stats.count))
-        return result
+        pt = self.pair_tables[int(period)]
+        if not len(pt):
+            return []
+        order = np.argsort(pt.first_seen, kind="stable")
+        keys = pt.keys[order]
+        counts = pt.counts[order]
+        means = np.divide(
+            pt.delivery_sums[order],
+            counts,
+            out=np.zeros(len(counts)),
+            where=counts > 0,
+        )
+        keep = counts >= min_count
+        return [
+            (int(k // pt.num_regions), int(k % pt.num_regions), float(m),
+             int(c))
+            for k, m, c in zip(keys[keep], means[keep], counts[keep])
+        ]
 
     def neighborhood_preferences(
         self, grid, radius_m: float = 2000.0

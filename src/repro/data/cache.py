@@ -63,7 +63,7 @@ __all__ = [
 
 # Bump whenever simulation/dataset-building semantics change: every key
 # embeds it, so stale artifacts from older code can never be served.
-PIPELINE_VERSION = "pr3.1"
+PIPELINE_VERSION = "pr9.1"
 
 _OFF = ("0", "off", "false", "no")
 _ON = ("", "1", "on", "true", "yes")
@@ -321,7 +321,10 @@ def clear_cache() -> int:
 
 
 # ----------------------------------------------------------------------
-# Order-log packing: string ids as fixed-width unicode, numbers columnar.
+# Order-log packing.  Columnar order logs (``OrderTable``) persist as one
+# ``.npy`` chunk per column plus the shared registry arrays -- loads are
+# memory-mapped column by column and never materialise records.  Legacy
+# ``List[OrderRecord]`` logs keep the original fixed-width packing.
 _FLOAT_FIELDS = (
     "store_lon",
     "store_lat",
@@ -337,6 +340,9 @@ _INT_FIELDS = ("store_region", "customer_region", "store_type")
 
 
 def _orders_to_arrays(orders) -> Dict[str, np.ndarray]:
+    table = getattr(orders, "table", None)
+    if table is not None:
+        return table.to_arrays()
     return {
         "order_id": np.array([o.order_id for o in orders]),
         "store_id": np.array([o.store_id for o in orders]),
@@ -353,6 +359,10 @@ def _orders_to_arrays(orders) -> Dict[str, np.ndarray]:
 
 
 def _orders_from_arrays(arrays: Dict[str, np.ndarray]):
+    if "tbl_store_index" in arrays:
+        from .ordertable import OrderTable
+
+        return OrderTable.from_arrays(arrays).records_view()
     from .records import OrderRecord
 
     flo = np.asarray(arrays["floats"])
@@ -439,10 +449,15 @@ def simulate_cached(config) -> Any:
                 orders=orders,
             )
     result = simulate_uncached(config)
+    columnar = getattr(result.orders, "table", None) is not None
     store_entry(
         key,
         arrays=_orders_to_arrays(result.orders),
-        meta={"artifact": "simulation", "num_orders": len(result.orders)},
+        meta={
+            "artifact": "simulation",
+            "num_orders": len(result.orders),
+            "format": "table" if columnar else "records",
+        },
     )
     return result
 
@@ -455,6 +470,7 @@ def cached_dataset(kind: str, seed: int, scale: float):
     to the preset recipes invalidates naturally.
     """
     from ..city.simulator import (
+        megacity_config,
         metropolis_config,
         real_world_config,
         simulation_config,
@@ -466,6 +482,8 @@ def cached_dataset(kind: str, seed: int, scale: float):
         config = simulation_config(seed=11 + seed, scale=scale)
     elif kind == "metropolis":
         config = metropolis_config(seed=7 + seed, scale=scale)
+    elif kind == "megacity":
+        config = megacity_config(seed=7 + seed, scale=scale)
     else:
         raise ValueError(f"unknown dataset kind {kind!r}")
 
@@ -492,6 +510,7 @@ def cached_dataset(kind: str, seed: int, scale: float):
 
 def _build_dataset_uncached(kind: str, seed: int, scale: float):
     from ..city.simulator import (
+        megacity_dataset,
         metropolis_dataset,
         real_world_dataset,
         simulation_dataset,
@@ -504,6 +523,8 @@ def _build_dataset_uncached(kind: str, seed: int, scale: float):
         sim = simulation_dataset(seed=11 + seed, scale=scale)
     elif kind == "metropolis":
         sim = metropolis_dataset(seed=7 + seed, scale=scale)
+    elif kind == "megacity":
+        sim = megacity_dataset(seed=7 + seed, scale=scale)
     else:
         raise ValueError(f"unknown dataset kind {kind!r}")
     dataset = SiteRecDataset.from_simulation(sim)
@@ -526,7 +547,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
         "warm", help="pre-build harness datasets into the cache"
     )
     warm.add_argument(
-        "--kind", default="real", choices=("real", "sim", "metropolis")
+        "--kind",
+        default="real",
+        choices=("real", "sim", "metropolis", "megacity"),
     )
     warm.add_argument("--seed", type=int, default=0)
     warm.add_argument("--scale", type=float, default=0.55)

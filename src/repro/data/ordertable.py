@@ -1,0 +1,273 @@
+"""Columnar order storage: struct-of-arrays instead of ``List[OrderRecord]``.
+
+At metropolis scale and beyond the order log dominates the data plane.  A
+``List[OrderRecord]`` spends ~400 bytes per order on object headers, boxed
+floats and interned strings, and every consumer (aggregates, features,
+graph build) pays a Python-level loop to read it back.  :class:`OrderTable`
+stores the same information as a handful of numpy columns (~100 bytes per
+order) that downstream code can reduce with vectorised kernels.
+
+Two deliberate representation choices keep the table *bit-identical* to the
+record list it replaces:
+
+* numeric columns are ``float64``/``int32`` -- every float that appears in
+  an :class:`~repro.data.records.OrderRecord` is stored at full precision,
+  so a record materialised from the table compares equal to the reference
+  record field-for-field;
+* the string ids are not stored at all.  ``order_id`` is the row index
+  (``O{i:07d}``), ``customer_id`` is ``U{tag:04d}_{serial:04d}`` from two
+  int columns, and ``store_id``/``courier_id`` are indices into a small
+  :class:`StoreRegistry` shared by every row.  Materialisation rebuilds the
+  exact reference strings on demand.
+
+:class:`OrderRecordSeq` is the lazy sequence view: indexing, slicing,
+iteration and equality behave like the list of records, but records only
+come into existence when touched.  ``list == view`` works through the
+reflected ``__eq__`` (``list.__eq__`` returns ``NotImplemented`` for a
+non-list, then Python asks the view).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from .records import OrderRecord
+
+__all__ = ["INT_COLUMNS", "FLOAT_COLUMNS", "COLUMNS", "StoreRegistry",
+           "OrderTable", "OrderRecordSeq"]
+
+INT_COLUMNS = (
+    "store_index",  # row into the StoreRegistry
+    "store_region",
+    "customer_region",
+    "store_type",
+    "cust_tag",  # region stamped into customer_id at creation time
+    "cust_serial",  # the U%..._%04d draw
+    "courier_num",  # row into StoreRegistry.courier_ids
+)
+FLOAT_COLUMNS = (
+    "customer_lon",
+    "customer_lat",
+    "created_minute",
+    "accepted_minute",
+    "pickup_minute",
+    "delivered_minute",
+    "distance_m",
+)
+COLUMNS = INT_COLUMNS + FLOAT_COLUMNS
+
+
+@dataclass(frozen=True)
+class StoreRegistry:
+    """Per-city id tables shared by every order row."""
+
+    store_ids: np.ndarray  # (S,) unicode
+    store_lon: np.ndarray  # (S,) float64
+    store_lat: np.ndarray  # (S,) float64
+    courier_ids: np.ndarray  # (C,) unicode, fleet flattening order
+
+    def __len__(self) -> int:
+        return len(self.store_ids)
+
+
+class OrderTable:
+    """Struct-of-arrays order log (the canonical representation)."""
+
+    __slots__ = ("columns", "registry")
+
+    def __init__(
+        self, columns: Dict[str, np.ndarray], registry: StoreRegistry
+    ) -> None:
+        missing = [c for c in COLUMNS if c not in columns]
+        if missing:
+            raise ValueError(f"OrderTable missing columns: {missing}")
+        n = len(columns[COLUMNS[0]])
+        cols: Dict[str, np.ndarray] = {}
+        for name in INT_COLUMNS:
+            arr = np.ascontiguousarray(columns[name], dtype=np.int32)
+            if len(arr) != n:
+                raise ValueError(f"column {name!r} has length {len(arr)} != {n}")
+            cols[name] = arr
+        for name in FLOAT_COLUMNS:
+            arr = np.ascontiguousarray(columns[name], dtype=np.float64)
+            if len(arr) != n:
+                raise ValueError(f"column {name!r} has length {len(arr)} != {n}")
+            cols[name] = arr
+        self.columns = cols
+        self.registry = registry
+
+    # -- basic shape ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.columns["store_index"])
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(int(c.nbytes) for c in self.columns.values())
+
+    # -- record materialisation ----------------------------------------
+    def record(self, i: int) -> OrderRecord:
+        """Materialise row ``i`` as the exact reference ``OrderRecord``."""
+        n = len(self)
+        idx = int(i)
+        if idx < 0:
+            idx += n
+        if not 0 <= idx < n:
+            raise IndexError(f"order index {i} out of range for {n} orders")
+        c = self.columns
+        si = int(c["store_index"][idx])
+        return OrderRecord(
+            order_id=f"O{idx:07d}",
+            store_id=str(self.registry.store_ids[si]),
+            customer_id=(
+                f"U{int(c['cust_tag'][idx]):04d}_"
+                f"{int(c['cust_serial'][idx]):04d}"
+            ),
+            courier_id=str(self.registry.courier_ids[int(c["courier_num"][idx])]),
+            store_lon=float(self.registry.store_lon[si]),
+            store_lat=float(self.registry.store_lat[si]),
+            customer_lon=float(c["customer_lon"][idx]),
+            customer_lat=float(c["customer_lat"][idx]),
+            store_region=int(c["store_region"][idx]),
+            customer_region=int(c["customer_region"][idx]),
+            created_minute=float(c["created_minute"][idx]),
+            accepted_minute=float(c["accepted_minute"][idx]),
+            pickup_minute=float(c["pickup_minute"][idx]),
+            delivered_minute=float(c["delivered_minute"][idx]),
+            distance_m=float(c["distance_m"][idx]),
+            store_type=int(c["store_type"][idx]),
+        )
+
+    def records_view(self) -> "OrderRecordSeq":
+        return OrderRecordSeq(self)
+
+    def replace_columns(self, **updates: np.ndarray) -> "OrderTable":
+        """A new table sharing unchanged columns (copy-on-write)."""
+        cols = dict(self.columns)
+        for name, arr in updates.items():
+            if name not in cols:
+                raise KeyError(f"unknown order column {name!r}")
+            cols[name] = arr
+        return OrderTable(cols, self.registry)
+
+    # -- hashing / serialisation ---------------------------------------
+    def sha256(self) -> str:
+        """Digest over every column and the registry, stitching-sensitive."""
+        digest = hashlib.sha256()
+        for name in COLUMNS:
+            digest.update(np.ascontiguousarray(self.columns[name]).tobytes())
+        for arr in (
+            self.registry.store_ids,
+            self.registry.store_lon,
+            self.registry.store_lat,
+            self.registry.courier_ids,
+        ):
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        return digest.hexdigest()
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flat dict for the artifact cache (``tbl_*`` + ``reg_*`` keys)."""
+        arrays = {f"tbl_{name}": self.columns[name] for name in COLUMNS}
+        arrays["reg_store_ids"] = self.registry.store_ids
+        arrays["reg_store_lon"] = self.registry.store_lon
+        arrays["reg_store_lat"] = self.registry.store_lat
+        arrays["reg_courier_ids"] = self.registry.courier_ids
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "OrderTable":
+        registry = StoreRegistry(
+            store_ids=np.asarray(arrays["reg_store_ids"]),
+            store_lon=np.asarray(arrays["reg_store_lon"]),
+            store_lat=np.asarray(arrays["reg_store_lat"]),
+            courier_ids=np.asarray(arrays["reg_courier_ids"]),
+        )
+        columns = {name: np.asarray(arrays[f"tbl_{name}"]) for name in COLUMNS}
+        return cls(columns, registry)
+
+    @classmethod
+    def concat(
+        cls, chunks: Sequence[Dict[str, np.ndarray]], registry: StoreRegistry
+    ) -> "OrderTable":
+        """Stitch per-tile column chunks (in chunk order) into one table."""
+        if not chunks:
+            columns = {name: np.zeros(0) for name in COLUMNS}
+            return cls(columns, registry)
+        columns = {
+            name: np.concatenate([np.asarray(c[name]) for c in chunks])
+            for name in COLUMNS
+        }
+        return cls(columns, registry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OrderTable {len(self)} orders x {len(COLUMNS)} columns, "
+            f"{len(self.registry)} stores>"
+        )
+
+
+class OrderRecordSeq(Sequence):
+    """Lazy ``Sequence[OrderRecord]`` view over an :class:`OrderTable`."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table: OrderTable) -> None:
+        self.table = table
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __getitem__(
+        self, i: Union[int, slice]
+    ) -> Union[OrderRecord, List[OrderRecord]]:
+        if isinstance(i, slice):
+            return [
+                self.table.record(j) for j in range(*i.indices(len(self)))
+            ]
+        return self.table.record(i)
+
+    def __iter__(self) -> Iterator[OrderRecord]:
+        table = self.table
+        for i in range(len(table)):
+            yield table.record(i)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderRecordSeq):
+            a, b = self.table, other.table
+            if len(a) != len(b):
+                return False
+            same_registry = all(
+                np.array_equal(x, y)
+                for x, y in (
+                    (a.registry.store_ids, b.registry.store_ids),
+                    (a.registry.store_lon, b.registry.store_lon),
+                    (a.registry.store_lat, b.registry.store_lat),
+                    (a.registry.courier_ids, b.registry.courier_ids),
+                )
+            )
+            if same_registry:
+                return all(
+                    np.array_equal(a.columns[name], b.columns[name])
+                    for name in COLUMNS
+                )
+            # Different registries can still describe equal records.
+        if not isinstance(other, Sequence) or isinstance(other, (str, bytes)):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OrderRecordSeq of {len(self)} orders>"

@@ -23,6 +23,12 @@ def _hour_bin(minute: float, bin_hours: int = 2) -> int:
     return int((minute % MINUTES_PER_DAY) // 60) // bin_hours
 
 
+# int(created % 1440 // 60) -> TimePeriod, as a gather table.
+_PERIOD_OF_HOUR = np.array(
+    [int(TimePeriod.from_hour(h)) for h in range(24)], dtype=np.int64
+)
+
+
 def supply_demand_by_bin(
     sim: SimulationResult, bin_hours: int = 2
 ) -> Dict[str, np.ndarray]:
@@ -32,9 +38,17 @@ def supply_demand_by_bin(
     per-period schedule.  Counts are max-normalised as in the paper.
     """
     bins = 24 // bin_hours
-    orders = np.zeros(bins)
-    for o in sim.orders:
-        orders[_hour_bin(o.created_minute, bin_hours)] += 1
+    table = sim.order_table
+    if table is not None and len(table):
+        created = table.column("created_minute")
+        hour_bins = (
+            (created % MINUTES_PER_DAY) // 60
+        ).astype(np.int64) // bin_hours
+        orders = np.bincount(hour_bins, minlength=bins).astype(np.float64)
+    else:
+        orders = np.zeros(bins)
+        for o in sim.orders:
+            orders[_hour_bin(o.created_minute, bin_hours)] += 1
 
     couriers = np.zeros(bins)
     for b in range(bins):
@@ -118,13 +132,30 @@ def delivery_time_distribution(
     """
     lo, hi = distance_band_m
     edges = np.asarray(time_bins_min, dtype=np.float64)
-    hist = np.zeros((len(TimePeriod), len(edges) - 1))
-    for o in sim.orders:
-        if not lo <= o.distance_m < hi:
-            continue
-        b = int(np.searchsorted(edges, o.delivery_minutes, side="right")) - 1
-        b = min(max(b, 0), hist.shape[1] - 1)
-        hist[int(o.period), b] += 1
+    nbins = len(edges) - 1
+    table = sim.order_table
+    if table is not None and len(table):
+        distance = table.column("distance_m")
+        keep = (distance >= lo) & (distance < hi)
+        created = table.column("created_minute")[keep]
+        minutes = (
+            table.column("delivered_minute")[keep]
+            - table.column("pickup_minute")[keep]
+        )
+        hours = (created.astype(np.int64) % MINUTES_PER_DAY) // 60
+        periods = _PERIOD_OF_HOUR[hours]
+        b = np.clip(np.searchsorted(edges, minutes, side="right") - 1, 0, nbins - 1)
+        hist = np.bincount(
+            periods * nbins + b, minlength=len(TimePeriod) * nbins
+        ).reshape(len(TimePeriod), nbins).astype(np.float64)
+    else:
+        hist = np.zeros((len(TimePeriod), nbins))
+        for o in sim.orders:
+            if not lo <= o.distance_m < hi:
+                continue
+            b = int(np.searchsorted(edges, o.delivery_minutes, side="right")) - 1
+            b = min(max(b, 0), nbins - 1)
+            hist[int(o.period), b] += 1
     return {
         "periods": np.array([p.label for p in TimePeriod], dtype=object),
         "edges": edges,

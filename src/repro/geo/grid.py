@@ -9,9 +9,25 @@ lon/lat conversion for order records (Table I stores coordinates in degrees).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
+
+# (dr, dc) offset tables per reach, row-major with (0, 0) removed -- the
+# exact visit order of the nested loop neighbors_within replaces.
+_NEIGHBOR_OFFSETS: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _neighbor_offsets(reach: int) -> Tuple[np.ndarray, np.ndarray]:
+    cached = _NEIGHBOR_OFFSETS.get(reach)
+    if cached is None:
+        side = np.arange(-reach, reach + 1, dtype=np.int64)
+        drs = np.repeat(side, len(side))
+        dcs = np.tile(side, len(side))
+        keep = (drs != 0) | (dcs != 0)
+        cached = (drs[keep], dcs[keep])
+        _NEIGHBOR_OFFSETS[reach] = cached
+    return cached
 
 # Metres per degree around Shanghai's latitude (31.2 N), used to emit
 # plausible lon/lat pairs in synthetic order records.
@@ -95,23 +111,26 @@ class RegionGrid:
         return self.region_id(row, col)
 
     def neighbors_within(self, region: int, radius: float) -> List[int]:
-        """Regions (excluding ``region``) with centroid distance <= radius."""
+        """Regions (excluding ``region``) with centroid distance <= radius.
+
+        Vectorised over the offset window but value- and order-identical to
+        the nested ``(dr, dc)`` reference loop: offsets visit row-major,
+        centroids use the same ``(col + 0.5) * cell_size`` arithmetic, and
+        the distance test is the same ``np.hypot`` ufunc elementwise.
+        """
         row, col = self.row_col(region)
         reach = int(radius // self.cell_size) + 1
-        result = []
+        drs, dcs = _neighbor_offsets(reach)
+        r = row + drs
+        c = col + dcs
+        valid = (r >= 0) & (r < self.rows) & (c >= 0) & (c < self.cols)
+        r = r[valid]
+        c = c[valid]
         x0, y0 = self.centroid(region)
-        for dr in range(-reach, reach + 1):
-            for dc in range(-reach, reach + 1):
-                if dr == 0 and dc == 0:
-                    continue
-                r, c = row + dr, col + dc
-                if not (0 <= r < self.rows and 0 <= c < self.cols):
-                    continue
-                other = self.region_id(r, c)
-                x1, y1 = self.centroid(other)
-                if np.hypot(x1 - x0, y1 - y0) <= radius:
-                    result.append(other)
-        return result
+        x1 = (c + 0.5) * self.cell_size
+        y1 = (r + 0.5) * self.cell_size
+        near = np.hypot(x1 - x0, y1 - y0) <= radius
+        return (r[near] * self.cols + c[near]).tolist()
 
     def pairs_within(self, radius: float) -> List[Tuple[int, int, float]]:
         """All ordered region pairs with centroid distance <= radius.

@@ -26,8 +26,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..data.dataset import SiteRecDataset
-from ..data.periods import TimePeriod
+from ..data.periods import NUM_PERIODS, TimePeriod
 from ..data.split import InteractionSplit
+from ..runtime import env_flag
 
 # Distance normalisation for S-U edge attributes (5 km -> 1.0).
 DISTANCE_SCALE_M = 5000.0
@@ -99,6 +100,111 @@ class RegionTypeHeteroMultiGraph:
 # limit; a 10k-region metropolis would need tens of GB dense).
 DENSE_DISTANCE_LIMIT = 4_000_000
 
+# O2_STREAM_GRAPH=0 pins the reference per-store S-U loop even above the
+# auto threshold (the streaming band build is array-identical; the switch
+# exists for A/B verification and the bit-identity tests).
+_STREAM_GRAPH_DEFAULT = env_flag("O2_STREAM_GRAPH", True)
+
+
+def _su_edges_streaming(
+    agg,
+    store_regions: np.ndarray,
+    customer_regions: np.ndarray,
+    sc: np.ndarray,
+    uc: np.ndarray,
+    capacity_aware: bool,
+    order_ratio_threshold: float,
+    max_pair_count: int,
+) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Banded S-U edge construction, array-identical to the per-store loop.
+
+    Stores are processed in consecutive bands sized so one ``(band, nU)``
+    distance block stays under :data:`DENSE_DISTANCE_LIMIT` cells (~32 MB);
+    the block is computed once per band and reused across all five periods.
+    Edges are emitted in (store band, period-local ``np.nonzero`` row-major)
+    order -- exactly the reference's ``si`` ascending, candidate ``ui``
+    ascending order -- and concatenated at absolute offsets, so the final
+    arrays match the dense build element for element.  Peak memory is the
+    block plus the emitted edges, never ``nS x nU``.
+    """
+    nS, nU = len(store_regions), len(customer_regions)
+    N = agg.num_regions
+    sr = store_regions.astype(np.int64)
+    ur = customer_regions.astype(np.int64)
+
+    far_all = np.empty((NUM_PERIODS, nS))
+    avg_all = np.empty((NUM_PERIODS, nS))
+    tot_all = np.empty((NUM_PERIODS, nS))
+    for t in range(NUM_PERIODS):
+        tot_all[t] = agg.total_orders_s[sr, t]
+        if capacity_aware:
+            far = agg.farthest_distance[sr, t].copy()
+            avg = agg.mean_distance[sr, t].copy()
+            idle = far <= 0  # store saw no orders this period
+            far[idle] = FALLBACK_SCOPE_M / 2
+            avg[idle] = FALLBACK_SCOPE_M / 2
+        else:
+            far = np.full(nS, FALLBACK_SCOPE_M)
+            avg = np.full(nS, FALLBACK_SCOPE_M)
+        far_all[t] = far
+        avg_all[t] = avg
+
+    chunks: Dict[int, List[Tuple[np.ndarray, ...]]] = {
+        t: [] for t in range(NUM_PERIODS)
+    }
+    band = max(1, DENSE_DISTANCE_LIMIT // max(nU, 1))
+    for b0 in range(0, nS, band):
+        b1 = min(b0 + band, nS)
+        # Same elementwise expression as the dense matrix build: the block
+        # is that matrix's row slice, bit for bit.
+        diff = sc[b0:b1, None, :] - uc[None, :, :]
+        block = np.sqrt((diff**2).sum(axis=2))
+        for t in range(NUM_PERIODS):
+            cand = block <= far_all[t, b0:b1, None]
+            si_loc, ui = np.nonzero(cand)
+            if not len(si_loc):
+                continue
+            si = b0 + si_loc
+            d = block[si_loc, ui]
+            rs = sr[si]
+            ru = ur[ui]
+            counts = agg.pair_tables[t].counts_for(rs * N + ru)
+            tot = tot_all[t, si]
+            ratio = np.divide(
+                counts, tot, out=np.zeros(len(counts)), where=tot > 0
+            )
+            # Reference rule: keep when d < avg, else require a meaningful
+            # order ratio (filters exception orders).
+            keep = (d < avg_all[t, si]) | (
+                (tot > 0) & (ratio >= order_ratio_threshold)
+            )
+            if not keep.any():
+                continue
+            attr = np.stack(
+                [d[keep] / DISTANCE_SCALE_M, counts[keep] / max_pair_count],
+                axis=1,
+            )
+            pairs = np.stack([rs[keep], ru[keep]], axis=1)
+            chunks[t].append((ui[keep], si[keep], attr, pairs))
+
+    result = {}
+    for t in range(NUM_PERIODS):
+        if chunks[t]:
+            result[t] = (
+                np.concatenate([c[0] for c in chunks[t]]),
+                np.concatenate([c[1] for c in chunks[t]]),
+                np.concatenate([c[2] for c in chunks[t]], axis=0),
+                np.concatenate([c[3] for c in chunks[t]], axis=0),
+            )
+        else:
+            result[t] = (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, 2)),
+                np.zeros((0, 2), dtype=np.int64),
+            )
+    return result
+
 
 def build_hetero_multigraph(
     dataset: SiteRecDataset,
@@ -106,6 +212,7 @@ def build_hetero_multigraph(
     capacity_aware: bool = True,
     order_ratio_threshold: float = 0.02,
     windowed_distances: Optional[bool] = None,
+    streaming: Optional[bool] = None,
 ) -> RegionTypeHeteroMultiGraph:
     """Construct the multi-graph from a dataset.
 
@@ -113,52 +220,141 @@ def build_hetero_multigraph(
     edges use a flat radius instead of the observed (pressure-controlled)
     delivery scopes.
 
-    ``windowed_distances`` selects the store-customer distance evaluation:
-    dense (one ``(nS, nU)`` matrix, fastest at paper scale) or windowed
-    (one streamed row per store, O(nU) memory -- mandatory at metropolis
-    scale, where the dense matrix runs to tens of GB).  The default
-    ``None`` switches automatically at :data:`DENSE_DISTANCE_LIMIT` cells.
-    Both paths compute each row with the same elementwise expressions, so
-    the resulting graphs are identical (``tests/test_partition.py`` pins
-    this).
+    ``streaming`` selects the S-U edge builder: the per-store reference
+    loop, or the banded streaming build (:func:`_su_edges_streaming`) that
+    vectorises the scope/ratio rule over ``(band, nU)`` distance blocks and
+    emits edge chunks at absolute offsets -- array-identical output, peak
+    memory bounded by one block.  The default ``None`` engages streaming
+    above :data:`DENSE_DISTANCE_LIMIT` cells (unless ``O2_STREAM_GRAPH=0``).
+
+    ``windowed_distances`` selects the distance evaluation for the
+    *reference* loop: dense (one ``(nS, nU)`` matrix) or windowed (one
+    streamed row per store).  Both compute each row with the same
+    elementwise expressions, so all three paths produce identical graphs
+    (``tests/test_partition.py``, ``tests/test_stream_graph.py``).
     """
     agg = dataset.aggregates
     store_regions = dataset.store_regions
     customer_regions = dataset.customer_regions
-    s_of_region = {int(r): i for i, r in enumerate(store_regions)}
-    u_of_region = {int(r): i for i, r in enumerate(customer_regions)}
 
     # Pairwise distances store-region x customer-region.
     centroids = dataset.grid.centroids()
     sc = centroids[store_regions]
     uc = centroids[customer_regions]
+    cells = len(store_regions) * len(customer_regions)
+    if streaming is None:
+        streaming = _STREAM_GRAPH_DEFAULT and cells > DENSE_DISTANCE_LIMIT
     if windowed_distances is None:
-        windowed_distances = (
-            len(store_regions) * len(customer_regions) > DENSE_DISTANCE_LIMIT
+        windowed_distances = cells > DENSE_DISTANCE_LIMIT
+
+    max_pair_count = max(agg.max_pair_count(), 1)
+
+    if streaming:
+        su_arrays = _su_edges_streaming(
+            agg,
+            store_regions,
+            customer_regions,
+            sc,
+            uc,
+            capacity_aware,
+            order_ratio_threshold,
+            max_pair_count,
         )
+    else:
+        su_arrays = _su_edges_reference(
+            agg,
+            store_regions,
+            customer_regions,
+            sc,
+            uc,
+            capacity_aware,
+            order_ratio_threshold,
+            max_pair_count,
+            windowed_distances,
+        )
+
+    subgraphs = {}
+    for period in TimePeriod:
+        t = int(period)
+        su_src, su_dst, su_attr, su_pairs = su_arrays[t]
+
+        # U-A edges, vectorised: np.nonzero row-major order IS the
+        # reference's (ui ascending, type ascending) nested loop order, and
+        # the attribute division is the same float64 op elementwise.
+        counts_ut = agg.counts_uat[:, :, t]
+        ua_max = max(counts_ut.max(), 1.0)
+        sel = counts_ut[customer_regions.astype(np.int64)]
+        ua_dst, ua_src = np.nonzero(sel > 0)
+        ua_attr = (sel[ua_dst, ua_src] / ua_max).reshape(-1, 1)
+
+        subgraphs[period] = HeteroSubgraph(
+            period=period,
+            su_src_u=np.asarray(su_src, dtype=np.int64),
+            su_dst_s=np.asarray(su_dst, dtype=np.int64),
+            su_attr=np.asarray(su_attr, dtype=np.float64).reshape(-1, 2),
+            su_region_pairs=np.asarray(su_pairs, dtype=np.int64).reshape(
+                -1, 2
+            ),
+            ua_src_a=ua_src.astype(np.int64),
+            ua_dst_u=ua_dst.astype(np.int64),
+            ua_attr=np.asarray(ua_attr, dtype=np.float64).reshape(-1, 1),
+        )
+
+    # Static S-A edges from the store registry, vectorised the same way.
+    masked = _masked_counts(dataset, split)
+    sr = store_regions.astype(np.int64)
+    sa_sel = dataset.store_counts[sr] > 0
+    sa_src, sa_dst = np.nonzero(sa_sel)
+    rs_sa = sr[sa_src]
+    sa_attr = np.stack(
+        [
+            dataset.commercial[rs_sa, sa_dst, 0],
+            dataset.commercial[rs_sa, sa_dst, 1],
+            masked[rs_sa, sa_dst],
+        ],
+        axis=1,
+    )
+
+    return RegionTypeHeteroMultiGraph(
+        store_regions=store_regions.astype(np.int64),
+        customer_regions=customer_regions.astype(np.int64),
+        num_types=dataset.num_types,
+        store_features=dataset.region_features[store_regions],
+        customer_features=dataset.region_features[customer_regions],
+        sa_src_s=sa_src.astype(np.int64),
+        sa_dst_a=sa_dst.astype(np.int64),
+        sa_attr=sa_attr.astype(np.float64).reshape(-1, 3),
+        subgraphs=subgraphs,
+    )
+
+
+def _su_edges_reference(
+    agg,
+    store_regions: np.ndarray,
+    customer_regions: np.ndarray,
+    sc: np.ndarray,
+    uc: np.ndarray,
+    capacity_aware: bool,
+    order_ratio_threshold: float,
+    max_pair_count: int,
+    windowed_distances: bool,
+) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """The per-store reference S-U loop (pre-streaming code, kept verbatim)."""
     if windowed_distances:
         def dist_row(si: int) -> np.ndarray:
             diff = sc[si] - uc
             return np.sqrt((diff**2).sum(axis=1))
 
     else:
-        dense_dist = np.sqrt(((sc[:, None, :] - uc[None, :, :]) ** 2).sum(axis=2))
+        dense_dist = np.sqrt(
+            ((sc[:, None, :] - uc[None, :, :]) ** 2).sum(axis=2)
+        )
 
         def dist_row(si: int) -> np.ndarray:
             return dense_dist[si]
 
-    max_pair_count = max(
-        (
-            stats.count
-            for period_stats in agg.pair_stats
-            for stats in period_stats.values()
-        ),
-        default=1,
-    )
-
-    subgraphs = {}
-    for period in TimePeriod:
-        t = int(period)
+    result = {}
+    for t in range(NUM_PERIODS):
         su_src, su_dst, su_attr, su_pairs = [], [], [], []
         stats_t = agg.pair_stats[t]
         for si, rs in enumerate(store_regions):
@@ -186,56 +382,17 @@ def build_hetero_multigraph(
                         continue
                 su_src.append(ui)
                 su_dst.append(si)
-                su_attr.append((d / DISTANCE_SCALE_M, count / max_pair_count))
-                su_pairs.append((rs, ru))
-
-        ua_src, ua_dst, ua_attr = [], [], []
-        counts_ut = agg.counts_uat[:, :, t]
-        ua_max = max(counts_ut.max(), 1.0)
-        for ui, ru in enumerate(customer_regions):
-            for a in np.flatnonzero(counts_ut[int(ru)] > 0):
-                ua_src.append(int(a))
-                ua_dst.append(ui)
-                ua_attr.append((counts_ut[int(ru), a] / ua_max,))
-
-        subgraphs[period] = HeteroSubgraph(
-            period=period,
-            su_src_u=np.array(su_src, dtype=np.int64),
-            su_dst_s=np.array(su_dst, dtype=np.int64),
-            su_attr=np.array(su_attr, dtype=np.float64).reshape(-1, 2),
-            su_region_pairs=np.array(su_pairs, dtype=np.int64).reshape(-1, 2),
-            ua_src_a=np.array(ua_src, dtype=np.int64),
-            ua_dst_u=np.array(ua_dst, dtype=np.int64),
-            ua_attr=np.array(ua_attr, dtype=np.float64).reshape(-1, 1),
-        )
-
-    # Static S-A edges from the store registry.
-    masked = _masked_counts(dataset, split)
-    sa_src, sa_dst, sa_attr = [], [], []
-    for si, rs in enumerate(store_regions):
-        rs = int(rs)
-        for a in np.flatnonzero(dataset.store_counts[rs] > 0):
-            sa_src.append(si)
-            sa_dst.append(int(a))
-            sa_attr.append(
-                (
-                    dataset.commercial[rs, a, 0],
-                    dataset.commercial[rs, a, 1],
-                    masked[rs, a],
+                su_attr.append(
+                    (d / DISTANCE_SCALE_M, count / max_pair_count)
                 )
-            )
-
-    return RegionTypeHeteroMultiGraph(
-        store_regions=store_regions.astype(np.int64),
-        customer_regions=customer_regions.astype(np.int64),
-        num_types=dataset.num_types,
-        store_features=dataset.region_features[store_regions],
-        customer_features=dataset.region_features[customer_regions],
-        sa_src_s=np.array(sa_src, dtype=np.int64),
-        sa_dst_a=np.array(sa_dst, dtype=np.int64),
-        sa_attr=np.array(sa_attr, dtype=np.float64).reshape(-1, 3),
-        subgraphs=subgraphs,
-    )
+                su_pairs.append((rs, ru))
+        result[t] = (
+            np.array(su_src, dtype=np.int64),
+            np.array(su_dst, dtype=np.int64),
+            np.array(su_attr, dtype=np.float64).reshape(-1, 2),
+            np.array(su_pairs, dtype=np.int64).reshape(-1, 2),
+        )
+    return result
 
 
 def _masked_counts(

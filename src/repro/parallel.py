@@ -212,6 +212,35 @@ def in_process_worker() -> bool:
     return _in_worker
 
 
+class ProcessMapError(RuntimeError):
+    """A :func:`process_map` task failed in a worker process.
+
+    The pool loses the worker-side traceback at the pickle boundary, so the
+    message carries what the parent needs to bisect: the failing item's
+    index, a truncated repr of the item, and the original exception.
+    """
+
+
+class _IndexedTask:
+    """Picklable wrapper attaching the item index to worker failures."""
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self._fn = fn
+
+    def __call__(self, indexed):
+        index, item = indexed
+        try:
+            return self._fn(item)
+        except Exception as exc:
+            detail = repr(item)
+            if len(detail) > 120:
+                detail = detail[:120] + "...<truncated>"
+            raise ProcessMapError(
+                f"process_map task {index} failed with "
+                f"{type(exc).__name__}: {exc} (item: {detail})"
+            ) from exc
+
+
 def process_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -228,6 +257,10 @@ def process_map(
     spawned elsewhere.  ``chunksize`` is handed to ``Pool.map`` unchanged:
     the default lets multiprocessing pick its batch size, ``1`` keeps
     long-running heterogeneous tasks load-balanced across workers.
+
+    A task that raises in a worker surfaces as :class:`ProcessMapError`
+    naming the failing item's index and (truncated) repr, chained from the
+    original exception where pickling preserves it.
     """
     items = list(items)
     workers = num_procs() if procs is None else max(procs, 0)
@@ -239,4 +272,4 @@ def process_map(
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
     with ctx.Pool(processes=workers, initializer=_mark_worker) as pool:
-        return pool.map(fn, items, chunksize)
+        return pool.map(_IndexedTask(fn), list(enumerate(items)), chunksize)

@@ -83,19 +83,21 @@ def env_float(name: str, default: float) -> float:
         return float(default)
 
 
-def env_str(name: str, default: str) -> str:
+def env_str(name: str, default: str, lower: bool = True) -> str:
     """Parse the enum-valued env switch ``name``: stripped and lowercased.
 
     Every enum-valued ``O2_*`` switch (``O2_NUM_THREADS=auto``,
     ``O2_SERVE_INDEX=on``...) compares case-insensitively against keyword
     spellings; centralising the normalisation here keeps the modules on one
     convention, mirroring :func:`env_flag`.  Unset falls back to ``default``
-    (also normalised, so callers can pass the canonical spelling).
+    (also normalised, so callers can pass the canonical spelling).  Pass
+    ``lower=False`` for case-sensitive values (``CC=/opt/bin/GCC-14``).
     """
     raw = os.environ.get(name)
     if raw is None:
         raw = default
-    return raw.strip().lower()
+    raw = raw.strip()
+    return raw.lower() if lower else raw
 
 # From glibc's malloc.h; mallopt param numbers are ABI-stable.
 _M_TRIM_THRESHOLD = -1

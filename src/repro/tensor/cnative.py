@@ -247,7 +247,7 @@ def _compile() -> Optional[ctypes.CDLL]:
             f.write(_SOURCE)
         tmp_so = so_path + f".tmp{os.getpid()}"
         cmd = [
-            os.environ.get("CC", "cc"),
+            _runtime.env_str("CC", "cc", lower=False),
             "-O3",
             "-march=native",
             "-fno-math-errno",

@@ -57,6 +57,29 @@ def _square(x: int) -> int:  # top-level: must be picklable
     return x * x
 
 
+def _explode_on_three(x: int) -> int:  # top-level: must be picklable
+    if x == 3:
+        raise ValueError(f"bad item {x}")
+    return x * x
+
+
+def test_process_map_surfaces_worker_failures():
+    """A worker exception names the failing chunk index and its args."""
+    with pytest.raises(parallel.ProcessMapError) as excinfo:
+        parallel.process_map(_explode_on_three, list(range(6)), procs=2)
+    message = str(excinfo.value)
+    assert "task 3" in message
+    assert "ValueError" in message
+    assert "bad item 3" in message
+    assert "(item: 3)" in message
+
+
+def test_process_map_serial_path_raises_original():
+    """The serial fallback keeps the original exception (full traceback)."""
+    with pytest.raises(ValueError, match="bad item 3"):
+        parallel.process_map(_explode_on_three, list(range(6)), procs=0)
+
+
 def test_compare_models_fanned_equals_serial():
     config = HarnessConfig(rounds=2, scale=0.35, epochs=3, patience=3)
     kwargs = dict(baselines=("GC-MC",), settings=("adaption",))
