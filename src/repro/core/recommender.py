@@ -529,8 +529,19 @@ class HeteroRecommender(Module):
         h = concat([d[0] for d in dropped], axis=0)
         z = concat([d[1] for d in dropped], axis=0)
         q = concat([q0] * len(periods), axis=0)
-        for layer in self.layers:
-            h, z, q = layer(h, z, q, edges, self.use_preferences)
+        from .shard import shard_train_tiles_for
+
+        tiles = shard_train_tiles_for(self, capacity_su)
+        if tiles:
+            # Banded sharded training step (O2_SHARD_TRAIN): same layers,
+            # same stacked edges, bit-identical outputs and gradients --
+            # see repro.core.shard_train.
+            from .shard_train import apply_layers_banded
+
+            h, z, q = apply_layers_banded(self, edges, h, z, q, tiles)
+        else:
+            for layer in self.layers:
+                h, z, q = layer(h, z, q, edges, self.use_preferences)
         return h, q
 
     def propagate_periods(

@@ -72,12 +72,13 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..data.periods import TimePeriod
-from ..graphs.partition import GridTilePartition
-from ..parallel import in_process_worker, num_procs, process_map
+from ..graphs.partition import GridTilePartition, band_node_splits
+from ..parallel import in_process_worker, num_procs, num_threads, process_map
 from ..runtime import env_int, env_str
 from ..serve.arena import open_raw_arena, save_raw_arena
 from ..tensor import Tensor, fast_kernels_enabled
 from ..tensor import cnative as _cnative
+from ..tensor import pool as _pool
 from ..tensor.ops import MATMUL_BLOCK, edge_message_value, matmul_blocked
 from ..tensor.segment import get_plan
 
@@ -86,8 +87,14 @@ __all__ = [
     "propagate_periods_sharded",
     "resolve_shard_tiles",
     "set_shard_tiles",
+    "set_shard_train",
+    "shard_gate_reason",
     "shard_tiles_for",
+    "shard_train_enabled",
+    "shard_train_gate_reason",
+    "shard_train_tiles_for",
     "use_shard_tiles",
+    "use_shard_train",
 ]
 
 DEFAULT_SHARD_TILES = 8
@@ -95,6 +102,22 @@ _AUTO_MIN_REGIONS = 4096
 _NEGATIVE_SLOPE = 0.2
 
 _tile_override: Optional[int] = None
+
+# Why the last shard_tiles_for / shard_train_tiles_for call said no (or
+# yes): one short string each, surfaced by O2_MEM_PROFILE reports and the
+# serving stats endpoint so "running dense" is always explained.
+_gate_reason = "not evaluated yet"
+_train_gate_reason = "not evaluated yet"
+
+
+def shard_gate_reason() -> str:
+    """Why the last :func:`shard_tiles_for` call engaged (or declined)."""
+    return _gate_reason
+
+
+def shard_train_gate_reason() -> str:
+    """Why the last :func:`shard_train_tiles_for` call engaged (or declined)."""
+    return _train_gate_reason
 
 
 def set_shard_tiles(tiles: Optional[int]) -> Optional[int]:
@@ -147,6 +170,37 @@ def resolve_shard_tiles(num_regions: int) -> int:
     return tiles if tiles > 1 else 0
 
 
+def _aggregator_gate_reason(recommender, capacity_su) -> Optional[str]:
+    """Shared model-shape preconditions; ``None`` when they hold."""
+    from ..nn.attention import MultiHeadSegmentAttention
+
+    for layer in recommender.layers:
+        for agg in (layer.su, layer.sa_to_s, layer.ua, layer.sa_to_a):
+            if not isinstance(agg, MultiHeadSegmentAttention):
+                return "non-attention aggregator (mean ablation)"
+    if capacity_su is not None:
+        from .recommender import CapacityEdgeFactors
+
+        if not all(
+            isinstance(cap, CapacityEdgeFactors) for cap in capacity_su.values()
+        ):
+            return "dense capacity edge attributes"
+    return None
+
+
+def _resolve_gate_tiles(grid_shape) -> Tuple[int, str]:
+    rows, cols = grid_shape
+    tiles = resolve_shard_tiles(rows * cols)
+    if tiles:
+        tiles = min(tiles, rows)
+    if tiles > 1:
+        return tiles, f"engaged: {tiles} row bands over a {rows}x{cols} grid"
+    return 0, (
+        f"grid below O2_SHARD_MIN_REGIONS ({rows * cols} regions) "
+        "and no tile override"
+    )
+
+
 def shard_tiles_for(recommender, capacity_su=None) -> int:
     """Row-band count sharded propagation will use for this call (0 = off).
 
@@ -155,31 +209,125 @@ def shard_tiles_for(recommender, capacity_su=None) -> int:
     attention path, attention aggregators on every relation, factored (or
     absent) capacity edge attributes, and a process that is not itself a
     fan-out worker.  The tile count is clamped to the grid's row count so
-    every band owns at least one region row.
+    every band owns at least one region row.  Every exit records why in
+    :func:`shard_gate_reason`.
     """
+    global _gate_reason
     grid_shape = getattr(recommender, "grid_shape", None)
-    if grid_shape is None or recommender.training:
+    if grid_shape is None:
+        _gate_reason = "no grid shape attached to the recommender"
         return 0
-    if not fast_kernels_enabled() or in_process_worker():
+    if recommender.training:
+        _gate_reason = "training mode (eval sharding is value-only)"
         return 0
-    from ..nn.attention import MultiHeadSegmentAttention
+    if not fast_kernels_enabled():
+        _gate_reason = "reference kernels (fast attention path off)"
+        return 0
+    if in_process_worker():
+        _gate_reason = "inside a process_map worker (no nested fan-out)"
+        return 0
+    reason = _aggregator_gate_reason(recommender, capacity_su)
+    if reason is not None:
+        _gate_reason = reason
+        return 0
+    tiles, _gate_reason = _resolve_gate_tiles(grid_shape)
+    return tiles
 
-    for layer in recommender.layers:
-        for agg in (layer.su, layer.sa_to_s, layer.ua, layer.sa_to_a):
-            if not isinstance(agg, MultiHeadSegmentAttention):
-                return 0
-    if capacity_su is not None:
-        from .recommender import CapacityEdgeFactors
 
-        if not all(
-            isinstance(cap, CapacityEdgeFactors) for cap in capacity_su.values()
-        ):
-            return 0
-    rows, _cols = grid_shape
-    tiles = resolve_shard_tiles(rows * _cols)
-    if tiles:
-        tiles = min(tiles, rows)
-    return tiles if tiles > 1 else 0
+# ---------------------------------------------------------------------------
+# Training gate (``O2_SHARD_TRAIN`` / ``TrainConfig.shard_train``): banded
+# sharded training targets the period-batched fast path -- the repo's
+# default single-process training configuration -- so it additionally
+# requires that path's own preconditions (serial threads, batching on).
+# ---------------------------------------------------------------------------
+
+_train_override: Optional[bool] = None
+
+
+def set_shard_train(enabled: Optional[bool]) -> Optional[bool]:
+    """Force sharded training on/off (``None`` defers to ``O2_SHARD_TRAIN``).
+
+    Returns the previous override.
+    """
+    global _train_override
+    previous = _train_override
+    _train_override = None if enabled is None else bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_shard_train(enabled: Optional[bool]) -> Iterator[None]:
+    """Scoped :func:`set_shard_train` (no-op when ``enabled`` is ``None``)."""
+    if enabled is None:
+        yield
+        return
+    previous = set_shard_train(enabled)
+    try:
+        yield
+    finally:
+        set_shard_train(previous)
+
+
+def shard_train_enabled() -> bool:
+    """Whether banded training may engage (default on; gate still applies)."""
+    if _train_override is not None:
+        return _train_override
+    return env_str("O2_SHARD_TRAIN", "1") not in ("0", "off")
+
+
+def shard_train_tiles_for(recommender, capacity_su=None) -> int:
+    """Row-band count the banded *training* step will use (0 = dense).
+
+    Mirrors :func:`shard_tiles_for` for the training direction: the model
+    must be in training mode with banded training enabled, on the
+    fast-kernel path, outside any worker, with attention aggregators and
+    factored (or absent) capacity attributes -- plus the period-batched
+    branch conditions (``batch_periods_enabled`` and a serial thread
+    count), because the banded step reproduces exactly that reference op
+    sequence.  Every exit records why in :func:`shard_train_gate_reason`.
+    """
+    global _train_gate_reason
+    if recommender is None:
+        # Baseline models carry no recommender; nothing to band.
+        _train_gate_reason = "no recommender (baseline model)"
+        return 0
+    if not recommender.training:
+        _train_gate_reason = "evaluation mode (training gate)"
+        return 0
+    if not shard_train_enabled():
+        _train_gate_reason = (
+            "disabled (O2_SHARD_TRAIN=0 / TrainConfig.shard_train=False)"
+        )
+        return 0
+    grid_shape = getattr(recommender, "grid_shape", None)
+    if grid_shape is None:
+        _train_gate_reason = "no grid shape attached to the recommender"
+        return 0
+    if not fast_kernels_enabled():
+        _train_gate_reason = "reference kernels (fast attention path off)"
+        return 0
+    if in_process_worker():
+        _train_gate_reason = "inside a process_map worker (no nested fan-out)"
+        return 0
+    from .recommender import batch_periods_enabled
+
+    if not batch_periods_enabled():
+        _train_gate_reason = (
+            "period batching off (banded training targets the batched path)"
+        )
+        return 0
+    if num_threads(len(TimePeriod)) > 1:
+        _train_gate_reason = (
+            "threaded per-period path (banded training targets the "
+            "batched path)"
+        )
+        return 0
+    reason = _aggregator_gate_reason(recommender, capacity_su)
+    if reason is not None:
+        _train_gate_reason = reason
+        return 0
+    tiles, _train_gate_reason = _resolve_gate_tiles(grid_shape)
+    return tiles
 
 
 # ---------------------------------------------------------------------------
@@ -194,16 +342,35 @@ def _attention_value(
     ids: np.ndarray,
     num_segments: int,
     scale: float,
+    att_state: Optional[dict] = None,
 ) -> np.ndarray:
-    """Forward of :func:`repro.tensor.ops.segment_attention`, values only."""
+    """Forward of :func:`repro.tensor.ops.segment_attention`, values only.
+
+    ``att_state`` optionally receives the compiled kernel's attention
+    ``weights``/``leaky`` intermediates: banded training stashes them per
+    band so its backward can skip the softmax recompute (the stash holds
+    the exact bytes the recompute would produce).  The stash buffers are
+    caller-owned allocations so the scratch pool never recycles them.
+    """
     num_edges, num_heads, head_dim = keys.shape
     out_dim = num_heads * head_dim
     plan = get_plan(ids, num_segments)
     if _cnative.available():
         q_c = np.ascontiguousarray(q_we)
-        _weights, _leaky, agg = _cnative.seg_att_fwd(
-            keys, q_c, plan, scale, _NEGATIVE_SLOPE
-        )
+        if att_state is not None:
+            weights_c = np.empty((num_edges, num_heads))
+            leaky_c = np.empty((num_edges, num_heads))
+            agg = _pool.zeros((num_segments, out_dim), tag="c-att-agg")
+            _cnative.seg_att_fwd(
+                keys, q_c, plan, scale, _NEGATIVE_SLOPE,
+                out=(weights_c, leaky_c, agg),
+            )
+            att_state["weights"] = weights_c
+            att_state["leaky"] = leaky_c
+        else:
+            _, _, agg = _cnative.seg_att_fwd(
+                keys, q_c, plan, scale, _NEGATIVE_SLOPE
+            )
         return np.multiply(agg, agg > 0)
     q_edge = q_we[ids]
     scores = np.einsum("ehd,ehd->eh", keys, q_edge)
@@ -239,6 +406,8 @@ def _band_aggregate(
     head_dim: int,
     scale: float,
     edge_range: Optional[Tuple[int, int]] = None,
+    ids: Optional[np.ndarray] = None,
+    att_state: Optional[dict] = None,
 ) -> np.ndarray:
     """One relation's attention rows for targets ``[lo, lo + n_band)``.
 
@@ -248,6 +417,9 @@ def _band_aggregate(
     over the *block cover* of the window -- the smallest span of absolute
     :data:`~repro.tensor.ops.MATMUL_BLOCK` blocks containing it -- so their
     bytes match the unsharded ``matmul_blocked`` output row for row.
+    ``ids`` may pass the band-local segment ids (``dst[e0:e1] - lo``)
+    precomputed -- banded training caches them per fit so the
+    ``SegmentPlan`` identity cache hits on every step.
     """
     out_dim = num_heads * head_dim
     if n_band <= 0:
@@ -273,8 +445,11 @@ def _band_aggregate(
     fused = edge_message_value(pre, eproj, bias, idx, extras_loc)
     keys_flat = matmul_blocked(fused, key_w)
     keys = keys_flat[e0 - b0 : e1 - b0].reshape(e1 - e0, num_heads, head_dim)
-    ids = np.asarray(dst[e0:e1], dtype=np.int64) - lo
-    return _attention_value(keys, q_we[lo : lo + n_band], ids, n_band, scale)
+    if ids is None:
+        ids = np.asarray(dst[e0:e1], dtype=np.int64) - lo
+    return _attention_value(
+        keys, q_we[lo : lo + n_band], ids, n_band, scale, att_state=att_state
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -446,26 +621,10 @@ def propagate_periods_sharded(
     part = GridTilePartition(rows, cols, min(int(tiles), rows), 1)
     n_tiles = part.num_tiles
     region_cuts = part.row_splits * cols
-    store_splits = np.searchsorted(graph.store_regions, region_cuts).astype(
-        np.int64
+    store_splits = band_node_splits(graph.store_regions, region_cuts, "store")
+    cust_splits = band_node_splits(
+        graph.customer_regions, region_cuts, "customer"
     )
-    cust_splits = np.searchsorted(graph.customer_regions, region_cuts).astype(
-        np.int64
-    )
-    # Coverage guard: the bands must tile both node sets exactly (requires
-    # node lists sorted by region id, which the graph builder guarantees).
-    # Every downstream consumer -- including sharded snapshot builds --
-    # relies on the stitched rows covering [0, n) with no gaps or overlap.
-    if (
-        int(store_splits[0]) != 0
-        or int(store_splits[-1]) != graph.num_store_nodes
-        or int(cust_splits[0]) != 0
-        or int(cust_splits[-1]) != graph.num_customer_nodes
-    ):
-        raise RuntimeError(
-            "shard bands do not cover the node sets; are the graph's node "
-            "lists sorted by region id?"
-        )
 
     d2 = recommender._d2
     use_pref = recommender.use_preferences
@@ -573,7 +732,8 @@ def propagate_periods_sharded(
             ]
             if fanout:
                 results = process_map(
-                    _shard_task, tasks, procs=workers, chunksize=1
+                    _shard_task, tasks, procs=workers, chunksize=1,
+                    persistent=True,
                 )
             else:
                 results = [_shard_task(task) for task in tasks]

@@ -19,7 +19,7 @@ from ..runtime import env_flag, tune_allocator
 from ..tensor.plan import CompiledStep
 from .model import O2SiteRec
 from .recommender import batch_periods_enabled
-from .shard import use_shard_tiles
+from .shard import shard_train_tiles_for, use_shard_tiles, use_shard_train
 
 
 @dataclass
@@ -44,9 +44,14 @@ class TrainConfig:
     compile_step: Optional[bool] = None
     # Grid-tile sharded eval propagation (see repro.core.shard).  None
     # defers to ``O2_SHARD_TILES`` / the automatic metropolis threshold;
-    # an explicit count pins it for every eval pass of this fit (training
-    # steps always run unsharded -- gradients stay in-process).
+    # an explicit count pins it for every eval pass of this fit.
     shard_tiles: Optional[int] = None
+    # Banded sharded *training* steps (see repro.core.shard_train).  None
+    # defers to ``O2_SHARD_TRAIN`` (default on; the band count still comes
+    # from ``shard_tiles`` / ``O2_SHARD_TILES`` and the metropolis
+    # threshold); ``False`` pins every step of this fit to the dense
+    # reference path.  Bit-identical either way.
+    shard_train: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.schedule not in (None, "cosine", "step"):
@@ -141,15 +146,26 @@ class Trainer:
                 clip_fn=lambda: clip_grad_norm(
                     self.model.parameters(), cfg.grad_clip
                 ),
-                # A plan is specialised on the training-mode dropout draws
-                # and the period-batching layout; recapture if either flips.
-                guard_fn=lambda: (self.model.training, batch_periods_enabled()),
+                # A plan is specialised on the training-mode dropout draws,
+                # the period-batching layout and the banded-training gate;
+                # recapture if any flips (a banded step poisons its capture
+                # and runs eager -- see repro.core.shard_train -- so a gate
+                # flip must not silently replay the dense plan).
+                guard_fn=lambda: (
+                    self.model.training,
+                    batch_periods_enabled(),
+                    bool(shard_train_tiles_for(
+                        getattr(self.model, "recommender", None)
+                    )),
+                ),
             )
             # The captured tape will pin its buffers for the life of the
             # plan; swap the arena to the matching malloc profile.
             tune_allocator(profile="pinned")
         try:
-            with use_shard_tiles(cfg.shard_tiles):
+            with use_shard_tiles(cfg.shard_tiles), use_shard_train(
+                cfg.shard_train
+            ):
                 return self._fit_loop(
                     cfg, fit_pairs, fit_targets, val_pairs, val_targets, rng,
                     train_losses, val_losses, best_val, best_state, bad_epochs,

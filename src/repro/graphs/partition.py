@@ -30,7 +30,12 @@ from typing import List, Tuple
 
 import numpy as np
 
-__all__ = ["GridTilePartition", "partition_grid"]
+__all__ = [
+    "GridTilePartition",
+    "band_node_splits",
+    "partition_grid",
+    "stacked_band_cuts",
+]
 
 
 def _axis_splits(size: int, parts: int) -> np.ndarray:
@@ -186,6 +191,46 @@ class GridTilePartition:
             f"GridTilePartition({self.rows}x{self.cols} regions -> "
             f"{self.tile_rows}x{self.tile_cols} tiles)"
         )
+
+
+def band_node_splits(
+    node_regions: np.ndarray, region_cuts: np.ndarray, what: str = "node"
+) -> np.ndarray:
+    """Node-index cut points of the region row-band partition.
+
+    ``node_regions`` is the (sorted) region id per node; ``region_cuts`` the
+    ``tiles + 1`` region-id cut points (``row_splits * cols`` for a row-band
+    partition).  Returns ``tiles + 1`` int64 node-index cuts such that band
+    ``t`` owns nodes ``[splits[t], splits[t + 1])``.  Raises when the bands
+    would not tile the node set exactly -- every consumer (sharded eval
+    stitches, banded training gradients) relies on the stitched rows
+    covering ``[0, n)`` with no gaps or overlap, which requires the node
+    list sorted by region id (the graph builder guarantees it).
+    """
+    splits = np.searchsorted(node_regions, region_cuts).astype(np.int64)
+    if int(splits[0]) != 0 or int(splits[-1]) != len(node_regions):
+        raise RuntimeError(
+            f"shard bands do not cover the {what} set; is the graph's "
+            f"{what} list sorted by region id?"
+        )
+    return splits
+
+
+def stacked_band_cuts(splits: np.ndarray, num_nodes: int, periods: int) -> np.ndarray:
+    """Band cuts of the period-stacked node table.
+
+    The batched propagation stacks ``periods`` copies of an ``num_nodes``
+    node table (node ``i`` of period ``p`` sits at row ``p * num_nodes + i``)
+    and its destination-sorted edge arrays concatenate per-period sorted
+    runs with the same offsets -- so they are *globally* sorted and the
+    per-period band splits extend to the stack by offsetting each period's
+    interior cuts.  Returns ``periods * tiles + 1`` cuts tiling
+    ``[0, periods * num_nodes)``.
+    """
+    interior = np.asarray(splits[:-1], dtype=np.int64)
+    offsets = np.arange(periods, dtype=np.int64) * int(num_nodes)
+    cuts = (offsets[:, None] + interior[None, :]).ravel()
+    return np.concatenate([cuts, [periods * int(num_nodes)]])
 
 
 def partition_grid(rows: int, cols: int, num_tiles: int) -> GridTilePartition:

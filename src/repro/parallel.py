@@ -241,11 +241,47 @@ class _IndexedTask:
             ) from exc
 
 
+# Persistent pool (``process_map(..., persistent=True)``): rounds that fan
+# out many times per second -- one per layer per training step in sharded
+# training -- cannot afford a fork+teardown per call.  The pool is keyed by
+# (start method, worker count); a request with a different worker count
+# tears the old pool down first.  Forked workers snapshot the parent at
+# creation time, so persistent callers must ship all round-varying state
+# through their task arguments (the shard arenas do exactly that).
+_persistent_pool = None
+_persistent_key: Optional[tuple] = None
+
+
+def _get_process_pool(ctx, method: str, workers: int):
+    global _persistent_pool, _persistent_key
+    key = (method, workers)
+    if _persistent_key != key and _persistent_pool is not None:
+        _persistent_pool.terminate()
+        _persistent_pool = None
+    if _persistent_pool is None:
+        _persistent_pool = ctx.Pool(processes=workers, initializer=_mark_worker)
+        _persistent_key = key
+        import atexit
+
+        atexit.register(shutdown_process_pool)
+    return _persistent_pool
+
+
+def shutdown_process_pool() -> None:
+    """Terminate the persistent :func:`process_map` pool (tests/atexit)."""
+    global _persistent_pool, _persistent_key
+    if _persistent_pool is not None:
+        _persistent_pool.terminate()
+        _persistent_pool = None
+        _persistent_key = None
+
+
 def process_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     procs: Optional[int] = None,
     chunksize: Optional[int] = None,
+    persistent: bool = False,
 ) -> List[R]:
     """``[fn(x) for x in items]`` across worker processes, in item order.
 
@@ -257,6 +293,10 @@ def process_map(
     spawned elsewhere.  ``chunksize`` is handed to ``Pool.map`` unchanged:
     the default lets multiprocessing pick its batch size, ``1`` keeps
     long-running heterogeneous tasks load-balanced across workers.
+
+    ``persistent=True`` reuses one process-wide pool across calls (see
+    :func:`_get_process_pool`) -- the fan-out pattern of sharded training,
+    where a per-call pool would pay a fork per layer per step.
 
     A task that raises in a worker surfaces as :class:`ProcessMapError`
     naming the failing item's index and (truncated) repr, chained from the
@@ -271,5 +311,8 @@ def process_map(
 
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
+    if persistent:
+        pool = _get_process_pool(ctx, method, workers)
+        return pool.map(_IndexedTask(fn), list(enumerate(items)), chunksize)
     with ctx.Pool(processes=workers, initializer=_mark_worker) as pool:
         return pool.map(_IndexedTask(fn), list(enumerate(items)), chunksize)

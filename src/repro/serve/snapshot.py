@@ -198,7 +198,11 @@ class ModelSnapshot:
         depend on the build topology.  The effective tile count is
         recorded under ``meta["shard_tiles"]``.
         """
-        from ..core.shard import shard_tiles_for, use_shard_tiles
+        from ..core.shard import (
+            shard_gate_reason,
+            shard_tiles_for,
+            use_shard_tiles,
+        )
         from ..data.periods import TimePeriod
 
         with use_shard_tiles(shard_tiles):
@@ -207,11 +211,13 @@ class ModelSnapshot:
             model.eval()
             try:
                 effective_tiles = shard_tiles_for(model.recommender)
+                gate_reason = shard_gate_reason()
             finally:
                 if was_training:
                     model.train()
         meta = dict(meta or {})
         meta.setdefault("shard_tiles", int(effective_tiles))
+        meta.setdefault("shard_gate_reason", gate_reason)
         h = np.stack([per_period[p][0] for p in TimePeriod], axis=0)
         q = np.stack([per_period[p][1] for p in TimePeriod], axis=0)
 

@@ -357,18 +357,33 @@ def edge_fuse_bwd(
     src: np.ndarray,
     num_sources: int,
     extras,  # sequence of (num_rows Ni, idx (E,)) pairs, up to 2
+    accum=None,  # optional (gmask, gpre, gex_list, gbias) caller buffers
 ):
+    """Fused edge-message backward.
+
+    ``accum`` lets a caller pass its own ``(gmask, gpre, gex_list, gbias)``
+    buffers: ``gmask`` is overwritten, the rest are *accumulated into* (the
+    kernel only ever does ``+=`` on them, in ascending edge order), so a
+    band-sweeping caller can feed edge slices through the same shared
+    accumulators and reproduce the one-call gradient bytes exactly.
+    """
     lib_ = lib()
     assert lib_ is not None
     E, F = grad.shape
-    gmask = _pool.empty((E, F), tag="c-edge-bwd")
-    gpre = _pool.zeros((num_sources, F), tag="c-edge-gpre")
-    gbias = np.zeros(F, dtype=np.float64)
     gex = [None, None]
     idxs = [None, None]
-    for k, (n_rows, idx) in enumerate(extras):
-        gex[k] = _pool.zeros((n_rows, F), tag="c-edge-gex")
-        idxs[k] = idx
+    if accum is not None:
+        gmask, gpre, gex_list, gbias = accum
+        for k, (_n_rows, idx) in enumerate(extras):
+            gex[k] = gex_list[k]
+            idxs[k] = idx
+    else:
+        gmask = _pool.empty((E, F), tag="c-edge-bwd")
+        gpre = _pool.zeros((num_sources, F), tag="c-edge-gpre")
+        gbias = np.zeros(F, dtype=np.float64)
+        for k, (n_rows, idx) in enumerate(extras):
+            gex[k] = _pool.zeros((n_rows, F), tag="c-edge-gex")
+            idxs[k] = idx
     lib_.edge_fuse_bwd(
         _ptr_d(grad),
         _ptr_d(out),
@@ -423,11 +438,17 @@ def seg_att_bwd(
     gout: np.ndarray,
     plan,
     scale: float,
+    gkeys_out: Optional[np.ndarray] = None,
 ):
+    """Attention backward; ``gkeys_out`` lets a band-sweeping caller have
+    the key gradient written at its run offset instead of copying it."""
     lib_ = lib()
     assert lib_ is not None
     E, H, hd = keys.shape
-    gkeys = _pool.empty((E, H, hd), tag="c-att-gkeys")
+    if gkeys_out is not None:
+        gkeys = gkeys_out
+    else:
+        gkeys = _pool.empty((E, H, hd), tag="c-att-gkeys")
     scratch = _pool.empty((E, H), tag="c-att-scratch")
     gq = _pool.zeros(q.shape, tag="c-att-gq")
     lib_.seg_att_bwd(

@@ -137,7 +137,7 @@ def report() -> dict:
     total_count = sum(v["count"] for v in allocs.values())
     from . import plan as _plan  # local import: plan imports pool
 
-    return {
+    snap = {
         "enabled": _enabled,
         "allocs": allocs,
         "total_alloc_bytes": total_bytes,
@@ -148,6 +148,16 @@ def report() -> dict:
         "current_rss_bytes": current_rss_bytes(),
         "peak_rss_bytes": peak_rss_bytes(),
     }
+    try:  # core is optional from the tensor plane's point of view
+        from ..core import shard as _shard
+        from ..core import shard_train as _shard_train
+
+        snap["shard_train"] = _shard_train.shard_train_stats()
+        snap["shard_gate_reason"] = _shard.shard_gate_reason()
+        snap["shard_train_gate_reason"] = _shard.shard_train_gate_reason()
+    except ImportError:  # pragma: no cover - trimmed installs
+        pass
+    return snap
 
 
 def format_report(snapshot: Optional[dict] = None) -> str:
@@ -165,13 +175,32 @@ def format_report(snapshot: Optional[dict] = None) -> str:
         f"peak={snap['peak_rss_bytes'] / 1e6:.1f} MB",
     ]
     plan = snap.get("plan")
-    if plan is not None and (plan["captures"] or plan["eager_fallbacks"]):
+    if plan is not None and (
+        plan["captures"]
+        or plan["eager_fallbacks"]
+        or plan.get("shard_fallbacks")
+    ):
         lines.insert(
             2,
             f"  plan: captures={plan['captures']} replays={plan['replays']} "
             f"eager_fallbacks={plan['eager_fallbacks']} "
+            f"shard_fallbacks={plan.get('shard_fallbacks', 0)} "
             f"evictions={plan['guard_evictions']} "
             f"pinned={plan['pinned_bytes'] / 1e6:.1f} MB",
+        )
+    st = snap.get("shard_train")
+    if st is not None and st.get("steps"):
+        lines.append(
+            f"  shard_train: steps={st['steps']} bands={st['bands']} "
+            f"nodes={st['nodes']} halo={st['halo_bytes'] / 1e6:.1f} MB "
+            f"({st['halo_rows']} rows) "
+            f"exchange={st['exchange_bytes'] / 1e6:.1f} MB "
+            f"fanout_tasks={st['fanout_tasks']} "
+            f"worker_peak_rss={st['worker_peak_rss_mb']:.1f} MB"
+        )
+        lines.append(
+            f"  shard gates: eval={snap.get('shard_gate_reason', '?')!r} "
+            f"train={snap.get('shard_train_gate_reason', '?')!r}"
         )
     ranked = sorted(
         snap["allocs"].items(), key=lambda kv: kv[1]["bytes"], reverse=True

@@ -67,6 +67,27 @@ def matmul_blocked(a: np.ndarray, w: np.ndarray, out=None) -> np.ndarray:
     return out
 
 
+def matmul_grad_blocked(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a.T @ b`` as a strictly ascending sum of per-block partials.
+
+    The weight-gradient counterpart of :func:`matmul_blocked`: block ``k``
+    contributes ``a[kB:kE].T @ b[kB:kE]`` and the partials are accumulated
+    in ascending block order.  Any executor that computes the same per-block
+    partials -- a sharded backward summing its bands' contributions
+    master-side in block order -- reproduces the result bit-for-bit.
+    Identical to ``a.T @ b`` below :data:`MATMUL_BLOCK` rows.
+    """
+    n = a.shape[0]
+    if n <= MATMUL_BLOCK:
+        return a.T @ b
+    out = None
+    for start in range(0, n, MATMUL_BLOCK):
+        stop = min(start + MATMUL_BLOCK, n)
+        partial = np.matmul(a[start:stop].T, b[start:stop])
+        out = partial if out is None else np.add(out, partial, out=out)
+    return out
+
+
 def rows_matmul(a: ArrayLike, w: ArrayLike) -> Tensor:
     """Differentiable ``a @ w`` with a :func:`matmul_blocked` forward.
 
@@ -96,7 +117,7 @@ def rows_matmul(a: ArrayLike, w: ArrayLike) -> Tensor:
             )
             out.append((t_a, g_a))
         if t_w.requires_grad:
-            out.append((t_w, t_a.data.T @ grad))
+            out.append((t_w, matmul_grad_blocked(t_a.data, grad)))
         return out
 
     result = Tensor(value, parents=(t_a, t_w), backward=backward)
@@ -712,7 +733,7 @@ def segment_attention(
             if t_f.requires_grad or t_w.requires_grad:
                 gk_flat = g_keys.reshape(num_edges, out_dim)
                 if t_f.requires_grad:
-                    g_f = np.matmul(
+                    g_f = matmul_blocked(
                         gk_flat,
                         t_w.data.T,
                         out=_pool.out_buffer(
@@ -727,7 +748,7 @@ def segment_attention(
                         fd = saved_f
                     else:
                         fd = t_f.data
-                    out.append((t_w, fd.T @ gk_flat))
+                    out.append((t_w, matmul_grad_blocked(fd, gk_flat)))
             return out
 
         result = Tensor(value, parents=(t_f, t_w, t_q), backward=backward_c)
@@ -855,7 +876,7 @@ def segment_attention(
             if t_f.requires_grad:
                 out.append((
                     t_f,
-                    np.matmul(
+                    matmul_blocked(
                         gk_flat,
                         t_w.data.T,
                         out=_pool.out_buffer(
@@ -870,7 +891,7 @@ def segment_attention(
                     fd = saved_f
                 else:
                     fd = t_f.data
-                out.append((t_w, fd.T @ gk_flat))
+                out.append((t_w, matmul_grad_blocked(fd, gk_flat)))
         return out
 
     result = Tensor(value, parents=(t_f, t_w, t_q), backward=backward)

@@ -86,6 +86,12 @@ _eager_fallbacks = 0
 _guard_evictions = 0
 _live_plans = 0
 _pinned_bytes = 0
+# Captures poisoned because the step routed through the banded sharded
+# backward (repro.core.shard_train), which builds data-dependent band
+# closures a replay plan cannot pin.  Deliberate and fail-soft: the step
+# runs eager, and this counter is the "never a silent double-path" receipt
+# surfaced on the memprof ``plan:`` line.
+_shard_fallbacks = 0
 
 
 def plan_stats() -> Dict[str, int]:
@@ -96,6 +102,7 @@ def plan_stats() -> Dict[str, int]:
             "replays": _replays,
             "eager_fallbacks": _eager_fallbacks,
             "guard_evictions": _guard_evictions,
+            "shard_fallbacks": _shard_fallbacks,
             "live_plans": _live_plans,
             "pinned_bytes": _pinned_bytes,
         }
@@ -103,8 +110,10 @@ def plan_stats() -> Dict[str, int]:
 
 def reset_stats() -> None:
     global _captures, _replays, _eager_fallbacks, _guard_evictions
+    global _shard_fallbacks
     with _stats_lock:
         _captures = _replays = _eager_fallbacks = _guard_evictions = 0
+        _shard_fallbacks = 0
 
 
 def _bump(name: str, delta: int = 1) -> None:

@@ -167,10 +167,23 @@ class SegmentPlan:
     # ------------------------------------------------------------------
     # Segment-space reductions (the drop-in ``ufunc.at`` replacements).
     # ------------------------------------------------------------------
-    def sum(self, values: np.ndarray) -> np.ndarray:
-        """``np.add.at``-equivalent scatter-add, shape ``(num_segments, ...)``."""
+    def sum(self, values: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+        """``np.add.at``-equivalent scatter-add, shape ``(num_segments, ...)``.
+
+        ``out`` (zeroed by the caller, or overwritten here) lets band-sliced
+        consumers (the sharded training backward) reduce straight into a row
+        window of a full-table gradient buffer instead of allocating a
+        band-sized temporary per call.  Values are byte-identical either
+        way: the scatter writes each occupied segment's run-sum exactly
+        once.
+        """
         shape = (self.num_segments,) + values.shape[1:]
-        out = _pool.zeros(shape, tag="segment-sum")
+        if out is None:
+            out = _pool.zeros(shape, tag="segment-sum")
+        else:
+            if out.shape != shape:
+                raise ValueError(f"out shape {out.shape} != {shape}")
+            out.fill(0.0)
         if self.num_rows:
             out[self.occupied] = self.sum_sorted(self.sort(values))
         return out

@@ -30,11 +30,15 @@ def _restore_toggles():
     shard.set_shard_tiles(prev_tiles)
     prev_procs = parallel.set_num_procs(None)
     parallel.set_num_procs(prev_procs)
+    prev_bp = set_batch_periods(True)
+    set_batch_periods(prev_bp)
+    prev_c = cnative.set_c_kernels(True)
+    cnative.set_c_kernels(prev_c)
     yield
     shard.set_shard_tiles(prev_tiles)
     parallel.set_num_procs(prev_procs)
-    set_batch_periods(None)
-    cnative.set_c_kernels(None)
+    set_batch_periods(prev_bp)
+    cnative.set_c_kernels(prev_c)
 
 
 def _sha_periods(out) -> str:
